@@ -1,0 +1,133 @@
+"""E12-E13 — Section 5: the distance-aware cover.
+
+The abstract claims "low space overhead for including distance
+information in the index"; Section 5.2 claims the sampled initial
+density estimate "never exceeded the real maximal density" in their
+experiments. Both are measured here.
+
+On entry-count overhead: a distance cover is inherently larger than a
+reachability cover of the same graph because a center may only cover
+pairs it has a *shortest* path between — centers are shareable across
+fewer pairs. The per-entry byte overhead of the DIST column itself is
+3/2.
+"""
+
+import random
+
+import pytest
+
+from repro.core.distance import (
+    build_distance_cover,
+    estimate_center_graph_edges,
+)
+from repro.core.hopi import HopiIndex
+from repro.graph.closure import distance_closure
+from repro.graph.digraph import DiGraph
+
+
+def test_distance_build_overhead(benchmark, dblp):
+    """E12: distance vs plain cover, same build configuration."""
+    limit = max(dblp.num_elements // 16, 1)
+
+    plain = HopiIndex.build(
+        dblp, strategy="recursive", partitioner="node_weight",
+        partition_limit=limit,
+    )
+
+    index = benchmark.pedantic(
+        lambda: HopiIndex.build(
+            dblp, strategy="recursive", partitioner="node_weight",
+            partition_limit=limit, distance=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    entry_overhead = index.cover.size / plain.cover.size
+    benchmark.extra_info.update(
+        plain_size=plain.cover.size,
+        distance_size=index.cover.size,
+        entry_overhead=round(entry_overhead, 2),
+        byte_overhead=round(1.5 * entry_overhead, 2),
+    )
+    # the overhead stays within a small constant factor of the plain cover
+    assert entry_overhead < 6.0
+
+
+def test_distance_query_correct_sample(benchmark, dblp):
+    """Distance answers equal BFS distances on sampled pairs."""
+    index = HopiIndex.build(
+        dblp, strategy="recursive", partitioner="node_weight",
+        partition_limit=max(dblp.num_elements // 16, 1), distance=True,
+    )
+    oracle = distance_closure(dblp.element_graph())
+    rng = random.Random(3)
+    nodes = sorted(dblp.elements)
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(2000)]
+
+    answers = benchmark(lambda: [index.distance(u, v) for u, v in pairs])
+    expected = [oracle.distance(u, v) for u, v in pairs]
+    assert answers == expected
+
+
+def test_density_estimate_upper_bounds(benchmark):
+    """E13: across random graphs, the 98%-CI sampled estimate stays at or
+    above the true center-graph edge count (so the priority queue never
+    undershoots badly)."""
+    rng = random.Random(42)
+
+    def run_sweep():
+        violations = 0
+        checks = 0
+        for trial in range(10):
+            g = DiGraph()
+            n = 40
+            for v in range(n):
+                g.add_node(v)
+            for _ in range(300):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u < v:
+                    g.add_edge(u, v)
+            dc = distance_closure(g)
+            for w in list(g)[:10]:
+                anc = dict(dc.ancestors_of(w))
+                anc[w] = 0
+                desc = dict(dc.descendants_of(w))
+                desc[w] = 0
+                if (len(anc) - 1) * (len(desc) - 1) < 50:
+                    continue
+                exact = estimate_center_graph_edges(
+                    w, dc, anc, desc, random.Random(0), sample_budget=10**9
+                )
+                sampled = estimate_center_graph_edges(
+                    w, dc, anc, desc, random.Random(trial), sample_budget=50
+                )
+                checks += 1
+                if sampled < exact:
+                    violations += 1
+        return checks, violations
+
+    checks, violations = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update(checks=checks, violations=violations)
+    if checks:
+        # the paper observed zero violations; allow the CI's nominal 2%
+        # failure rate plus slack for the tiny 50-sample budget
+        assert violations <= max(0.25 * checks, 1)
+
+
+def test_distance_build_speed_small(benchmark):
+    """Raw distance-builder throughput on a mid-size random DAG."""
+    rng = random.Random(5)
+    g = DiGraph()
+    n = 250
+    for v in range(n):
+        g.add_node(v)
+    for _ in range(700):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u < v:
+            g.add_edge(u, v)
+
+    cover = benchmark.pedantic(
+        lambda: build_distance_cover(g), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(cover_size=cover.size)
+    cover.verify_against(distance_closure(g))

@@ -1,0 +1,84 @@
+"""E16 — query performance.
+
+The paper defers query benchmarks to [26] ("this was already covered");
+we reproduce the essentials: HOPI connection tests versus online BFS and
+versus the materialised closure, descendant enumeration, the SQL-backed
+store versus the in-memory store, and end-to-end path-expression
+evaluation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.hopi import HopiIndex
+from repro.graph.closure import transitive_closure
+from repro.graph.traversal import is_reachable
+from repro.query import QueryEngine
+from repro.storage import MemoryCoverStore, SQLiteCoverStore
+
+
+@pytest.fixture(scope="module")
+def built(dblp):
+    index = HopiIndex.build(
+        dblp, strategy="recursive", partitioner="node_weight",
+        partition_limit=max(dblp.num_elements // 16, 1),
+    )
+    rng = random.Random(11)
+    nodes = sorted(dblp.elements)
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(1000)]
+    return index, pairs
+
+
+def test_connection_hopi(benchmark, built):
+    index, pairs = built
+    answers = benchmark(lambda: [index.connected(u, v) for u, v in pairs])
+    benchmark.extra_info.update(positive=sum(answers))
+
+
+def test_connection_bfs_baseline(benchmark, dblp, built):
+    index, pairs = built
+    graph = dblp.element_graph()
+    answers = benchmark(lambda: [is_reachable(graph, u, v) for u, v in pairs])
+    assert answers == [index.connected(u, v) for u, v in pairs]
+
+
+def test_connection_materialized_closure(benchmark, dblp, built):
+    index, pairs = built
+    closure = transitive_closure(dblp.element_graph())
+    benchmark.extra_info.update(
+        closure_connections=closure.num_connections,
+        cover_entries=index.cover.size,
+        compression=round(closure.num_connections / index.cover.size, 1),
+    )
+    answers = benchmark(lambda: [closure.contains(u, v) for u, v in pairs])
+    assert answers == [index.connected(u, v) for u, v in pairs]
+
+
+def test_descendants_hopi(benchmark, built):
+    index, pairs = built
+    sources = [u for u, _ in pairs[:200]]
+    benchmark(lambda: [index.descendants(u) for u in sources])
+
+
+def test_connection_sql_store(benchmark, built):
+    index, pairs = built
+    store = SQLiteCoverStore(":memory:")
+    store.save_cover(index.cover)
+    answers = benchmark(lambda: [store.connected(u, v) for u, v in pairs])
+    assert answers == [index.connected(u, v) for u, v in pairs]
+
+
+def test_connection_memory_store(benchmark, built):
+    index, pairs = built
+    store = MemoryCoverStore(index.cover)
+    benchmark(lambda: [store.connected(u, v) for u, v in pairs])
+
+
+def test_path_expression_wildcard(benchmark, built):
+    """//article//cite across citation links — the motivating query."""
+    index, _ = built
+    engine = QueryEngine(index, max_results=100_000)
+    results = benchmark(lambda: engine.evaluate("//article//cite"))
+    benchmark.extra_info.update(matches=len(results))
+    assert results

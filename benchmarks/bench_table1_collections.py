@@ -1,0 +1,55 @@
+"""E1 — Table 1: features of the benchmark collections.
+
+Regenerates the paper's collection-statistics table for the scaled
+workloads and records every column in the benchmark's ``extra_info``.
+The timed operation is the full generation + serialisation pipeline.
+"""
+
+from repro.bench.harness import PAPER_TABLE1
+from repro.xmlmodel.export import collection_size_bytes
+from repro.xmlmodel.generator import dblp_like, inex_like
+
+
+def test_table1_dblp_features(benchmark):
+    def generate():
+        collection = dblp_like(150, seed=2005)
+        return collection, collection_size_bytes(collection)
+
+    collection, size_bytes = benchmark.pedantic(generate, rounds=1, iterations=1)
+    paper = PAPER_TABLE1["DBLP"]
+    benchmark.extra_info.update(
+        docs=collection.num_documents,
+        elements=collection.num_elements,
+        links=collection.num_links,
+        size_mb=round(size_bytes / 1e6, 3),
+        paper_docs=paper["docs"],
+        paper_elements=paper["elements"],
+        paper_links=paper["links"],
+    )
+    # structural profile matches the paper's DBLP subset
+    per_doc = collection.num_elements / collection.num_documents
+    assert 15 <= per_doc <= 40  # paper: 27.2
+    links_per_doc = len(collection.inter_links) / collection.num_documents
+    assert 1 <= links_per_doc <= 10  # paper: 4.1
+
+
+def test_table1_inex_features(benchmark):
+    def generate():
+        collection = inex_like(15, seed=2005, elements_per_doc=380)
+        return collection, collection_size_bytes(collection)
+
+    collection, size_bytes = benchmark.pedantic(generate, rounds=1, iterations=1)
+    paper = PAPER_TABLE1["INEX"]
+    benchmark.extra_info.update(
+        docs=collection.num_documents,
+        elements=collection.num_elements,
+        links=collection.num_links,
+        size_mb=round(size_bytes / 1e6, 3),
+        paper_docs=paper["docs"],
+        paper_elements=paper["elements"],
+    )
+    # the defining property: a pure tree collection, no links at all
+    assert collection.num_links == 0
+    # an order of magnitude more elements per document than DBLP
+    per_doc = collection.num_elements / collection.num_documents
+    assert per_doc >= 200

@@ -1,0 +1,152 @@
+"""E2-E7 — Table 2 and the Section-7.2 in-text results: build time/size.
+
+One benchmark per Table-2 row. Results accumulate in a module-level
+registry; the later rows assert the paper's cross-row claims:
+
+* the new recursive join beats the old incremental join in both time and
+  cover size (paper: 10-15x faster, ~40% smaller for P5/P10);
+* cover size over partition granularity is U-shaped (P50 worse than
+  P5/P10);
+* the N-series (closure-size-aware partitioner) matches the P-series
+  cover sizes with balanced per-partition closures;
+* the unpartitioned global cover achieves the best compression but the
+  worst build time (paper: 267x vs 21.6-34.6x; 45h23m vs hours);
+* the INEX build needs < 3 entries per node.
+"""
+
+import pytest
+
+from repro.bench.harness import N_SERIES, P_SERIES, PAPER_TABLE2, run_build
+from repro.core.hopi import HopiIndex
+from repro.core.partitioning import partition_by_closure_size, partition_closure_sizes
+from repro.core.stats import entries_per_node
+
+_ROWS = {}
+
+
+def _bench_build(benchmark, collection, closure_size, label, **kwargs):
+    row = benchmark.pedantic(
+        lambda: run_build(
+            collection, label, closure_connections=closure_size, **kwargs
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _ROWS[label] = row
+    paper = PAPER_TABLE2.get(label)
+    benchmark.extra_info.update(
+        cover_size=row.cover_size,
+        compression=round(row.compression, 2),
+        partitions=row.num_partitions,
+        paper_seconds=paper[0] if paper else None,
+        paper_size=paper[1] if paper else None,
+        paper_compression=paper[2] if paper else None,
+    )
+    return row
+
+
+def test_build_baseline_old_join(benchmark, dblp, dblp_closure_size):
+    """E2: old partitioner + old incremental link-at-a-time join."""
+    limit = max(int(dblp.num_elements * P_SERIES["P10"]), 1)
+    row = _bench_build(
+        benchmark, dblp, dblp_closure_size, "baseline",
+        strategy="incremental", partitioner="node_weight",
+        partition_limit=limit,
+    )
+    assert row.compression > 1.0
+
+
+@pytest.mark.parametrize("label", list(P_SERIES))
+def test_build_p_series(benchmark, dblp, dblp_closure_size, label):
+    """E3: old partitioner with the new recursive join (P5..P50)."""
+    limit = max(int(dblp.num_elements * P_SERIES[label]), 1)
+    row = _bench_build(
+        benchmark, dblp, dblp_closure_size, label,
+        strategy="recursive", partitioner="node_weight",
+        partition_limit=limit,
+    )
+    assert row.compression > 1.0
+    if label == "P50" and "P5" in _ROWS:
+        # the U-shape: overly large partitions hurt the joined cover
+        assert row.cover_size >= _ROWS["P5"].cover_size
+    if "baseline" in _ROWS:
+        # the paper's headline: new join never loses to the old one
+        assert row.cover_size < _ROWS["baseline"].cover_size
+        assert row.seconds < _ROWS["baseline"].seconds
+
+
+def test_build_single_doc_partitions(benchmark, dblp, dblp_closure_size):
+    """E4: every document its own partition ('naive')."""
+    row = _bench_build(
+        benchmark, dblp, dblp_closure_size, "single",
+        strategy="recursive", partitioner="single",
+    )
+    assert row.num_partitions == dblp.num_documents
+
+
+@pytest.mark.parametrize("label", list(N_SERIES))
+def test_build_n_series(benchmark, dblp, dblp_closure_size, label):
+    """E5: new closure-size-aware partitioner (N10..N100)."""
+    limit = max(int(dblp_closure_size * N_SERIES[label]), 100)
+    row = _bench_build(
+        benchmark, dblp, dblp_closure_size, label,
+        strategy="recursive", partitioner="closure",
+        partition_limit=limit,
+    )
+    assert row.compression > 1.0
+    if "P10" in _ROWS:
+        # "similar results to the old partitioning algorithm": within 2x
+        assert row.cover_size < 2 * _ROWS["P10"].cover_size
+
+
+def test_n_series_closure_balance(benchmark, dblp, dblp_closure_size):
+    """E5 balance claim: the new partitioner yields partitions of similar
+    closure size, enabling near-linear parallel speedup."""
+    limit = max(int(dblp_closure_size * N_SERIES["N25"]), 100)
+
+    def build_partitioning():
+        return partition_by_closure_size(dblp, limit, seed=0)
+
+    partitioning = benchmark.pedantic(build_partitioning, rounds=1, iterations=1)
+    sizes = partition_closure_sizes(dblp, partitioning)
+    grown = [
+        s for s, docs in zip(sizes, partitioning.partitions) if len(docs) > 1
+    ]
+    benchmark.extra_info.update(
+        partitions=partitioning.num_partitions,
+        max_closure=max(sizes),
+        budget=limit,
+    )
+    assert max(sizes) <= limit or any(
+        len(d) == 1 for d in partitioning.partitions
+    )
+    if grown:
+        assert max(grown) <= limit
+
+
+def test_unpartitioned_global_cover(benchmark, dblp, dblp_closure_size):
+    """E6: the Section-7.2 global cover — best compression, worst time."""
+    row = _bench_build(
+        benchmark, dblp, dblp_closure_size, "global (7.2)",
+        strategy="unpartitioned",
+    )
+    for label in ("baseline", "P5", "P10"):
+        if label in _ROWS:
+            assert row.compression >= _ROWS[label].compression
+            assert row.seconds >= _ROWS[label].seconds
+
+
+def test_inex_entries_per_node(benchmark, inex):
+    """E7: INEX build stays below 3 index entries per node."""
+    index = benchmark.pedantic(
+        lambda: HopiIndex.build(
+            inex, strategy="recursive", partitioner="closure"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    epn = entries_per_node(index.cover.size, inex.num_elements)
+    benchmark.extra_info.update(
+        cover_size=index.cover.size, entries_per_node=round(epn, 3)
+    )
+    assert epn < 3.0

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at a reduced scale (half the harness default) so the full
+suite stays in the minutes range; ``REPRO_BENCH_SCALE`` scales up.
+All collections are session-scoped and treated as read-only — benchmarks
+that mutate state copy first.
+"""
+
+import pytest
+
+from repro.bench.workloads import bench_dblp, bench_inex, workload_scale
+from repro.graph.closure import transitive_closure_size
+
+BENCH_SCALE = 0.5
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    """DBLP-like benchmark collection (~150 docs at default scale)."""
+    return bench_dblp(BENCH_SCALE * workload_scale())
+
+
+@pytest.fixture(scope="session")
+def inex():
+    """INEX-like benchmark collection (no links, deep trees)."""
+    return bench_inex(BENCH_SCALE * workload_scale())
+
+
+@pytest.fixture(scope="session")
+def dblp_closure_size(dblp):
+    return transitive_closure_size(dblp.element_graph())

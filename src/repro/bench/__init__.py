@@ -1,0 +1,32 @@
+"""Benchmark harness: workloads, experiment runners, table renderers.
+
+``python -m repro.bench`` regenerates every table and in-text experiment
+of the paper's Section 7 at laptop scale and prints them side by side
+with the paper's reference values. The pytest-benchmark wrappers in
+``benchmarks/`` drive the same harness functions.
+"""
+
+from repro.bench.workloads import bench_dblp, bench_inex, workload_scale
+from repro.bench.harness import (
+    BuildRow,
+    MaintenanceRow,
+    run_build,
+    run_maintenance_experiment,
+    run_table1,
+    run_table2,
+)
+from repro.bench.reporting import format_table, print_table
+
+__all__ = [
+    "bench_dblp",
+    "bench_inex",
+    "workload_scale",
+    "BuildRow",
+    "MaintenanceRow",
+    "run_build",
+    "run_maintenance_experiment",
+    "run_table1",
+    "run_table2",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,143 @@
+"""Regenerate every Section-7 experiment: ``python -m repro.bench``.
+
+Prints each table at the configured scale (see ``REPRO_BENCH_SCALE``)
+next to the paper's reference values where applicable.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    PAPER_TABLE2,
+    run_center_preselection_ablation,
+    run_distance_overhead,
+    run_edge_weight_ablation,
+    run_insert_document_experiment,
+    run_maintenance_experiment,
+    run_query_benchmark,
+    run_table1,
+    run_table2,
+)
+from repro.bench.reporting import print_table
+from repro.bench.workloads import bench_dblp, bench_inex, workload_scale
+from repro.core.hopi import HopiIndex
+from repro.core.stats import entries_per_node
+
+
+def main() -> None:
+    print(f"HOPI experiment harness (scale {workload_scale()}x)\n")
+
+    # ---- Table 1 -------------------------------------------------------
+    rows = run_table1()
+    print_table(
+        ["coll.", "# docs", "# els", "# links", "size MB", "els/doc",
+         "paper els/doc"],
+        [
+            (
+                r["collection"], r["docs"], r["elements"], r["links"],
+                round(r["size_mb"], 2), round(r["elements_per_doc"], 1),
+                round(r["paper_elements_per_doc"], 1),
+            )
+            for r in rows
+        ],
+        title="Table 1: collection features (scaled)",
+    )
+
+    # ---- Table 2 -------------------------------------------------------
+    dblp = bench_dblp()
+    t2 = run_table2(dblp)
+    print_table(
+        ["algorithm", "time s", "size", "compr.", "parts",
+         "paper time s", "paper size", "paper compr."],
+        [
+            row.as_tuple() + PAPER_TABLE2.get(row.label, ("-", "-", "-"))
+            for row in t2
+        ],
+        title="Table 2: index build time and size",
+    )
+
+    # ---- INEX build (Section 7.2 in-text) --------------------------------
+    inex = bench_inex()
+    index = HopiIndex.build(inex, strategy="recursive", partitioner="closure")
+    print_table(
+        ["collection", "cover size", "entries/node", "paper entries/node"],
+        [("INEX", index.cover.size,
+          round(entries_per_node(index.cover.size, inex.num_elements), 2),
+          "< 3")],
+        title="Section 7.2: INEX build",
+    )
+
+    # ---- Section 7.3: maintenance ----------------------------------------
+    maint = run_maintenance_experiment(dblp, name="DBLP")
+    maint_inex = run_maintenance_experiment(inex, name="INEX", sample_size=10)
+    print_table(
+        ["coll.", "separating %", "test s", "sep. delete s",
+         "non-sep. delete s", "rebuild s", "paper"],
+        [
+            (
+                m.collection,
+                round(100 * m.separating_fraction, 1),
+                round(m.avg_separator_test_seconds, 4),
+                round(m.avg_separating_delete_seconds, 4),
+                (
+                    round(m.avg_nonseparating_delete_seconds, 4)
+                    if m.avg_nonseparating_delete_seconds is not None
+                    else "-"
+                ),
+                round(m.rebuild_seconds, 2),
+                paper,
+            )
+            for m, paper in (
+                (maint, "60% sep.; 2s test; 13s delete"),
+                (maint_inex, "100% separate (no links)"),
+            )
+        ],
+        title="Section 7.3: index maintenance",
+    )
+
+    ins = run_insert_document_experiment(dblp)
+    print_table(
+        ["inserts", "avg s", "max s"],
+        [(int(ins["inserts"]), round(ins["avg_seconds"], 4),
+          round(ins["max_seconds"], 4))],
+        title="Section 6.1: document insertion",
+    )
+
+    # ---- Section 5: distance overhead ------------------------------------
+    dist = run_distance_overhead(dblp)
+    print_table(
+        ["plain size", "distance size", "entry overhead", "byte overhead",
+         "plain s", "distance s"],
+        [(int(dist["plain_size"]), int(dist["distance_size"]),
+          round(dist["entry_overhead"], 2), round(dist["byte_overhead"], 2),
+          round(dist["plain_seconds"], 2), round(dist["distance_seconds"], 2))],
+        title="Section 5: distance-aware cover overhead",
+    )
+
+    # ---- ablations ---------------------------------------------------------
+    pre = run_center_preselection_ablation(dblp)
+    print_table(
+        ["with preselection", "without", "entries saved"],
+        [(pre["with_preselection"], pre["without_preselection"],
+          pre["entries_saved"])],
+        title="Section 4.2 ablation: center preselection",
+    )
+
+    weights = run_edge_weight_ablation(dblp)
+    print_table(
+        ["edge weight", "time s", "size", "compr.", "parts"],
+        [row.as_tuple() for row in weights],
+        title="Section 4.3 ablation: edge weights",
+    )
+
+    # ---- query performance ---------------------------------------------
+    q = run_query_benchmark(dblp)
+    print_table(
+        ["queries", "HOPI qps", "BFS qps", "speedup vs BFS"],
+        [(int(q["queries"]), round(q["hopi_qps"]), round(q["bfs_qps"]),
+          round(q["speedup_vs_bfs"], 1))],
+        title="Query performance (E16; [26] covers this in depth)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table (numbers right-aligned)."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append(
+            [
+                f"{cell:,.1f}" if isinstance(cell, float)
+                else f"{cell:,}" if isinstance(cell, int)
+                else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> None:
+    print(format_table(headers, rows, title=title))
+    print()

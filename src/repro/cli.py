@@ -1,0 +1,228 @@
+"""Command-line interface: build, query and maintain HOPI indexes.
+
+Usage (also via ``python -m repro``)::
+
+    # index a directory of XML files into a self-contained database
+    python -m repro build docs/*.xml -o index.db --strategy recursive
+
+    # generate a synthetic benchmark collection as XML files
+    python -m repro generate dblp -n 100 -o corpus/
+
+    # query a persisted index
+    python -m repro query index.db "//article//author"
+    python -m repro connected index.db 3 17
+    python -m repro stats index.db
+
+    # incremental maintenance on the persisted index
+    python -m repro delete-doc index.db dblp42
+
+Documents are identified by file stem; XLink ``href`` attributes resolve
+to links exactly as in :func:`repro.xmlmodel.parser.load_collection`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.hopi import HopiIndex
+from repro.query.engine import QueryEngine
+from repro.storage.db import SQLiteCoverStore, load_index, persist_index
+from repro.xmlmodel.export import export_collection
+from repro.xmlmodel.generator import dblp_like, inex_like
+from repro.xmlmodel.parser import load_collection
+
+
+def _read_documents(paths: Sequence[str]) -> Dict[str, str]:
+    documents: Dict[str, str] = {}
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files = sorted(path.glob("*.xml"))
+        else:
+            files = [path]
+        for f in files:
+            if f.stem in documents:
+                raise SystemExit(f"duplicate document id {f.stem!r} ({f})")
+            documents[f.stem] = f.read_text(encoding="utf-8")
+    if not documents:
+        raise SystemExit("no XML documents found")
+    return documents
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    collection = load_collection(_read_documents(args.inputs))
+    print(
+        f"loaded {collection.num_documents} documents, "
+        f"{collection.num_elements} elements, {collection.num_links} links"
+    )
+    index = HopiIndex.build(
+        collection,
+        strategy=args.strategy,
+        partitioner=args.partitioner,
+        partition_limit=args.partition_limit,
+        edge_weight=args.edge_weight,
+        distance=args.distance,
+    )
+    stats = index.stats
+    print(
+        f"built in {stats.seconds_total:.2f}s "
+        f"({stats.num_partitions} partitions, |L| = {stats.cover_size})"
+    )
+    persist_index(index, args.output).close()
+    print(f"written to {args.output}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "dblp":
+        collection = dblp_like(args.num_docs, seed=args.seed)
+    else:
+        collection = inex_like(args.num_docs, seed=args.seed)
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    for doc_id, text in export_collection(collection).items():
+        (out / f"{doc_id}.xml").write_text(text, encoding="utf-8")
+    print(
+        f"wrote {collection.num_documents} documents "
+        f"({collection.num_elements} elements, {collection.num_links} links) "
+        f"to {out}/"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    engine = QueryEngine(index, max_results=args.limit)
+    results = engine.evaluate(args.path)
+    collection = index.collection
+    for r in results:
+        element = collection.elements[r.target]
+        text = f" {element.text!r}" if element.text else ""
+        print(
+            f"{r.score:6.3f}  {element.doc}#{element.eid} "
+            f"<{element.tag}>{text}"
+        )
+    print(f"{len(results)} match(es)", file=sys.stderr)
+    return 0
+
+
+def cmd_connected(args: argparse.Namespace) -> int:
+    with SQLiteCoverStore(args.index) as store:
+        result = store.connected(args.source, args.target)
+        print("connected" if result else "not connected")
+        if args.distance:
+            print(f"distance: {store.distance(args.source, args.target)}")
+    return 0 if result else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    collection = index.collection
+    report = index.size_report(with_closure=args.closure)
+    print(f"documents:        {collection.num_documents}")
+    print(f"elements:         {collection.num_elements}")
+    print(f"links:            {collection.num_links}")
+    print(f"cover entries:    {report.cover_size}")
+    print(f"entries/node:     {report.entries_per_node:.2f}")
+    print(f"stored integers:  {report.stored_integers} (with backward index)")
+    if report.closure_connections is not None:
+        print(f"closure:          {report.closure_connections} connections")
+        print(f"compression:      {report.compression:.1f}x")
+    kind = "distance-aware" if index.is_distance_aware else "reachability"
+    print(f"cover type:       {kind}")
+    return 0
+
+
+def cmd_delete_doc(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    if args.doc_id not in index.collection.documents:
+        raise SystemExit(f"no document {args.doc_id!r} in the index")
+    report = index.delete_document(args.doc_id)
+    path_taken = "fast (Theorem 2)" if report.separating else "general (Theorem 3)"
+    print(
+        f"deleted {args.doc_id!r} via the {path_taken} path "
+        f"in {report.seconds * 1000:.1f} ms"
+    )
+    with SQLiteCoverStore(args.index) as store:
+        store.save_collection(index.collection)
+        store.save_cover(index.cover)
+    print(f"updated {args.index}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    index.verify()
+    print("cover verified against a fresh transitive-closure oracle ✓")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HOPI: 2-hop connection index for linked XML collections",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="index XML files into a database")
+    p.add_argument("inputs", nargs="+", help="XML files or directories")
+    p.add_argument("-o", "--output", required=True, help="index database path")
+    p.add_argument("--strategy", default="recursive",
+                   choices=["unpartitioned", "incremental", "recursive"])
+    p.add_argument("--partitioner", default="closure",
+                   choices=["node_weight", "closure", "single"])
+    p.add_argument("--partition-limit", type=int, default=None)
+    p.add_argument("--edge-weight", default="links",
+                   choices=["links", "AxD", "A+D"])
+    p.add_argument("--distance", action="store_true",
+                   help="build a distance-aware cover (Section 5)")
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("generate", help="write a synthetic XML collection")
+    p.add_argument("family", choices=["dblp", "inex"])
+    p.add_argument("-n", "--num-docs", type=int, default=100)
+    p.add_argument("-o", "--output", required=True, help="output directory")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("query", help="evaluate a //-path expression")
+    p.add_argument("index")
+    p.add_argument("path", help='e.g. "//article//author" or "//~book//author"')
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("connected", help="reachability test between elements")
+    p.add_argument("index")
+    p.add_argument("source", type=int)
+    p.add_argument("target", type=int)
+    p.add_argument("--distance", action="store_true")
+    p.set_defaults(func=cmd_connected)
+
+    p = sub.add_parser("stats", help="index size statistics")
+    p.add_argument("index")
+    p.add_argument("--closure", action="store_true",
+                   help="also materialise the closure for the compression ratio")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("delete-doc", help="incrementally delete a document")
+    p.add_argument("index")
+    p.add_argument("doc_id")
+    p.set_defaults(func=cmd_delete_doc)
+
+    p = sub.add_parser("verify", help="audit the cover against a BFS oracle")
+    p.add_argument("index")
+    p.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,482 @@
+"""2-hop cover data structures (Sections 3.1, 3.4 and 5.1 of the paper).
+
+A 2-hop cover assigns each node ``v`` a label ``L(v) = (Lin(v), Lout(v))``
+such that ``u ->* v`` iff ``(Lout(u) ∪ {u}) ∩ (Lin(v) ∪ {v}) ≠ ∅``. Like
+the paper's database layout, the node itself is *never stored* in its own
+label ("to minimize the number of entries, we do not store the node
+itself"); the implicit self-hop is applied by every query.
+
+Two flavours are provided:
+
+* :class:`TwoHopCover` — plain reachability labels (sets of centers).
+* :class:`DistanceTwoHopCover` — labels carry the distance to the center
+  (Section 5); ``distance(u, v) = min(dout(u, w) + din(w, v))`` over
+  common centers ``w``, mirroring the paper's
+  ``SELECT MIN(LOUT.DIST + LIN.DIST)`` SQL query.
+
+Both maintain *backward* (inverted) indexes — ``center -> nodes carrying
+it`` — the in-memory analogue of the backward database indexes of
+Section 3.4, which make ancestor/descendant enumeration and the
+maintenance algorithms efficient.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+
+Node = Hashable
+
+
+class TwoHopCover:
+    """A reachability 2-hop cover with forward and backward label indexes.
+
+    The cover knows its node universe: ``connected(u, u)`` is true only
+    for registered nodes, and nodes with empty labels still participate
+    in queries through the implicit self-hop.
+    """
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self.nodes: Set[Node] = set(nodes)
+        self.lin: Dict[Node, Set[Node]] = {}
+        self.lout: Dict[Node, Set[Node]] = {}
+        # backward indexes: center -> set of nodes whose Lin/Lout holds it
+        self._inv_lin: Dict[Node, Set[Node]] = {}
+        self._inv_lout: Dict[Node, Set[Node]] = {}
+
+    # ------------------------------------------------------------------
+    # label mutation
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node) -> None:
+        self.nodes.add(v)
+
+    def add_lin(self, node: Node, center: Node) -> None:
+        """Add ``center`` to ``Lin(node)`` (self-entries are dropped)."""
+        if node == center:
+            return
+        self.nodes.add(node)
+        self.lin.setdefault(node, set()).add(center)
+        self._inv_lin.setdefault(center, set()).add(node)
+
+    def add_lout(self, node: Node, center: Node) -> None:
+        """Add ``center`` to ``Lout(node)`` (self-entries are dropped)."""
+        if node == center:
+            return
+        self.nodes.add(node)
+        self.lout.setdefault(node, set()).add(center)
+        self._inv_lout.setdefault(center, set()).add(node)
+
+    def discard_lin(self, node: Node, center: Node) -> None:
+        entries = self.lin.get(node)
+        if entries and center in entries:
+            entries.discard(center)
+            self._inv_lin[center].discard(node)
+
+    def discard_lout(self, node: Node, center: Node) -> None:
+        entries = self.lout.get(node)
+        if entries and center in entries:
+            entries.discard(center)
+            self._inv_lout[center].discard(node)
+
+    def set_lin(self, node: Node, centers: Iterable[Node]) -> None:
+        """Replace ``Lin(node)`` wholesale (used by Theorems 2 and 3)."""
+        for c in self.lin.get(node, ()):
+            self._inv_lin[c].discard(node)
+        new = {c for c in centers if c != node}
+        self.lin[node] = new
+        for c in new:
+            self._inv_lin.setdefault(c, set()).add(node)
+
+    def set_lout(self, node: Node, centers: Iterable[Node]) -> None:
+        """Replace ``Lout(node)`` wholesale (used by Theorems 2 and 3)."""
+        for c in self.lout.get(node, ()):
+            self._inv_lout[c].discard(node)
+        new = {c for c in centers if c != node}
+        self.lout[node] = new
+        for c in new:
+            self._inv_lout.setdefault(c, set()).add(node)
+
+    def remove_nodes(self, removed: Set[Node]) -> None:
+        """Drop nodes from the universe, their labels, and every label
+        entry that uses them as a center (document deletion support)."""
+        self.nodes -= removed
+        for v in removed:
+            self.set_lin(v, ())
+            self.set_lout(v, ())
+            self.lin.pop(v, None)
+            self.lout.pop(v, None)
+        for v in removed:
+            for node in list(self._inv_lin.get(v, ())):
+                self.discard_lin(node, v)
+            for node in list(self._inv_lout.get(v, ())):
+                self.discard_lout(node, v)
+            self._inv_lin.pop(v, None)
+            self._inv_lout.pop(v, None)
+
+    def union(self, other: "TwoHopCover") -> None:
+        """Component-wise union with another cover (Section 4.1's joins)."""
+        self.nodes |= other.nodes
+        for node, centers in other.lin.items():
+            for c in centers:
+                self.add_lin(node, c)
+        for node, centers in other.lout.items():
+            for c in centers:
+                self.add_lout(node, c)
+
+    def copy(self) -> "TwoHopCover":
+        clone = TwoHopCover(self.nodes)
+        clone.lin = {v: set(c) for v, c in self.lin.items()}
+        clone.lout = {v: set(c) for v, c in self.lout.items()}
+        clone._inv_lin = {v: set(c) for v, c in self._inv_lin.items()}
+        clone._inv_lout = {v: set(c) for v, c in self._inv_lout.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries (Section 3.4 semantics)
+    # ------------------------------------------------------------------
+    def lin_of(self, node: Node) -> Set[Node]:
+        return self.lin.get(node, set())
+
+    def lout_of(self, node: Node) -> Set[Node]:
+        return self.lout.get(node, set())
+
+    def nodes_with_lin_center(self, center: Node) -> Set[Node]:
+        """Backward-index lookup: nodes whose ``Lin`` holds ``center``."""
+        return self._inv_lin.get(center, set())
+
+    def nodes_with_lout_center(self, center: Node) -> Set[Node]:
+        """Backward-index lookup: nodes whose ``Lout`` holds ``center``."""
+        return self._inv_lout.get(center, set())
+
+    def connected(self, u: Node, v: Node) -> bool:
+        """``u ->* v``? Implements ``(Lout(u) ∪ {u}) ∩ (Lin(v) ∪ {v})``.
+
+        The four disjuncts correspond to the paper's main SQL query plus
+        the "simple additional queries" that compensate for self-entries
+        not being stored.
+        """
+        if u not in self.nodes or v not in self.nodes:
+            return False
+        if u == v:
+            return True
+        lout = self.lout.get(u)
+        if lout and v in lout:
+            return True
+        lin = self.lin.get(v)
+        if lin and u in lin:
+            return True
+        if lout and lin:
+            small, large = (lout, lin) if len(lout) < len(lin) else (lin, lout)
+            return any(c in large for c in small)
+        return False
+
+    def descendants(self, u: Node) -> Set[Node]:
+        """All ``d`` with ``u ->* d`` (including ``u``), via the backward index."""
+        if u not in self.nodes:
+            return set()
+        result: Set[Node] = {u}
+        result |= self._inv_lin.get(u, set())
+        lout = self.lout.get(u)
+        if lout:
+            result |= lout
+            for c in lout:
+                result |= self._inv_lin.get(c, set())
+        return result
+
+    def ancestors(self, v: Node) -> Set[Node]:
+        """All ``a`` with ``a ->* v`` (including ``v``)."""
+        if v not in self.nodes:
+            return set()
+        result: Set[Node] = {v}
+        result |= self._inv_lout.get(v, set())
+        lin = self.lin.get(v)
+        if lin:
+            result |= lin
+            for c in lin:
+                result |= self._inv_lout.get(c, set())
+        return result
+
+    # ------------------------------------------------------------------
+    # statistics & verification
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``|L| = Σ |Lin(v)| + |Lout(v)|`` — the paper's cover size."""
+        return sum(len(c) for c in self.lin.values()) + sum(
+            len(c) for c in self.lout.values()
+        )
+
+    def stored_integers(self, *, with_backward_index: bool = True) -> int:
+        """Database ints per Section 3.4: 2 per entry, doubled by the
+        backward index."""
+        per = 4 if with_backward_index else 2
+        return per * self.size
+
+    def entries(self) -> Iterator[Tuple[str, Node, Node]]:
+        """All label entries as ``(kind, node, center)`` with kind in
+        {"in", "out"} — the row set of the LIN/LOUT tables."""
+        for node, centers in self.lin.items():
+            for c in centers:
+                yield ("in", node, c)
+        for node, centers in self.lout.items():
+            for c in centers:
+                yield ("out", node, c)
+
+    def verify_against(self, closure, nodes: Optional[Iterable[Node]] = None) -> None:
+        """Assert the cover represents exactly the closure's connections.
+
+        Checks both directions of Theorem 1: every connection is covered,
+        and no non-connection is reflected. Raises ``AssertionError``
+        with a counterexample otherwise. ``closure`` needs a
+        ``contains(u, v)`` method (e.g.
+        :class:`repro.graph.closure.TransitiveClosure`).
+        """
+        universe = list(nodes) if nodes is not None else list(self.nodes)
+        for u in universe:
+            for v in universe:
+                expected = closure.contains(u, v)
+                actual = self.connected(u, v)
+                if expected != actual:
+                    raise AssertionError(
+                        f"cover mismatch for ({u!r}, {v!r}): "
+                        f"closure says {expected}, cover says {actual}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TwoHopCover(nodes={len(self.nodes)}, size={self.size})"
+
+
+class DistanceTwoHopCover:
+    """A distance-aware 2-hop cover (Section 5).
+
+    Labels map centers to the shortest distance towards/from them:
+    ``Lout(u)[w] = dist(u, w)`` and ``Lin(v)[w] = dist(w, v)``. The
+    distance between two nodes is the minimum of ``dout + din`` over
+    common centers — "the minimum operator is necessary because paths
+    over center nodes may have different lengths" (Section 5.1). Entries
+    keep the minimum on duplicate insertion.
+    """
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self.nodes: Set[Node] = set(nodes)
+        self.lin: Dict[Node, Dict[Node, int]] = {}
+        self.lout: Dict[Node, Dict[Node, int]] = {}
+        self._inv_lin: Dict[Node, Set[Node]] = {}
+        self._inv_lout: Dict[Node, Set[Node]] = {}
+
+    # ------------------------------------------------------------------
+    # label mutation
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node) -> None:
+        self.nodes.add(v)
+
+    def add_lin(self, node: Node, center: Node, dist: int) -> None:
+        if node == center:
+            return
+        self.nodes.add(node)
+        entries = self.lin.setdefault(node, {})
+        old = entries.get(center)
+        if old is None or dist < old:
+            entries[center] = dist
+            self._inv_lin.setdefault(center, set()).add(node)
+
+    def add_lout(self, node: Node, center: Node, dist: int) -> None:
+        if node == center:
+            return
+        self.nodes.add(node)
+        entries = self.lout.setdefault(node, {})
+        old = entries.get(center)
+        if old is None or dist < old:
+            entries[center] = dist
+            self._inv_lout.setdefault(center, set()).add(node)
+
+    def set_lin(self, node: Node, entries: Dict[Node, int]) -> None:
+        for c in self.lin.get(node, ()):
+            self._inv_lin[c].discard(node)
+        new = {c: d for c, d in entries.items() if c != node}
+        self.lin[node] = new
+        for c in new:
+            self._inv_lin.setdefault(c, set()).add(node)
+
+    def set_lout(self, node: Node, entries: Dict[Node, int]) -> None:
+        for c in self.lout.get(node, ()):
+            self._inv_lout[c].discard(node)
+        new = {c: d for c, d in entries.items() if c != node}
+        self.lout[node] = new
+        for c in new:
+            self._inv_lout.setdefault(c, set()).add(node)
+
+    def remove_nodes(self, removed: Set[Node]) -> None:
+        self.nodes -= removed
+        for v in removed:
+            self.set_lin(v, {})
+            self.set_lout(v, {})
+            self.lin.pop(v, None)
+            self.lout.pop(v, None)
+        for v in removed:
+            for node in list(self._inv_lin.get(v, ())):
+                entries = self.lin.get(node)
+                if entries:
+                    entries.pop(v, None)
+            for node in list(self._inv_lout.get(v, ())):
+                entries = self.lout.get(node)
+                if entries:
+                    entries.pop(v, None)
+            self._inv_lin.pop(v, None)
+            self._inv_lout.pop(v, None)
+
+    def union(self, other: "DistanceTwoHopCover") -> None:
+        self.nodes |= other.nodes
+        for node, entries in other.lin.items():
+            for c, d in entries.items():
+                self.add_lin(node, c, d)
+        for node, entries in other.lout.items():
+            for c, d in entries.items():
+                self.add_lout(node, c, d)
+
+    def copy(self) -> "DistanceTwoHopCover":
+        clone = DistanceTwoHopCover(self.nodes)
+        clone.lin = {v: dict(c) for v, c in self.lin.items()}
+        clone.lout = {v: dict(c) for v, c in self.lout.items()}
+        clone._inv_lin = {v: set(c) for v, c in self._inv_lin.items()}
+        clone._inv_lout = {v: set(c) for v, c in self._inv_lout.items()}
+        return clone
+
+    def discard_lin(self, node: Node, center: Node) -> None:
+        entries = self.lin.get(node)
+        if entries and center in entries:
+            del entries[center]
+            self._inv_lin[center].discard(node)
+
+    def discard_lout(self, node: Node, center: Node) -> None:
+        entries = self.lout.get(node)
+        if entries and center in entries:
+            del entries[center]
+            self._inv_lout[center].discard(node)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lin_of(self, node: Node) -> Dict[Node, int]:
+        return self.lin.get(node, {})
+
+    def lout_of(self, node: Node) -> Dict[Node, int]:
+        return self.lout.get(node, {})
+
+    def nodes_with_lin_center(self, center: Node) -> Set[Node]:
+        """Backward-index lookup: nodes whose ``Lin`` holds ``center``."""
+        return self._inv_lin.get(center, set())
+
+    def nodes_with_lout_center(self, center: Node) -> Set[Node]:
+        """Backward-index lookup: nodes whose ``Lout`` holds ``center``."""
+        return self._inv_lout.get(center, set())
+
+    def distance(self, u: Node, v: Node) -> Optional[int]:
+        """Shortest distance ``u -> v`` or ``None`` when not connected.
+
+        Implements ``MIN(LOUT.DIST + LIN.DIST)`` over common centers,
+        extended by the implicit self-entries at distance 0.
+        """
+        if u not in self.nodes or v not in self.nodes:
+            return None
+        if u == v:
+            return 0
+        best: Optional[int] = None
+        lout = self.lout.get(u, {})
+        lin = self.lin.get(v, {})
+        d = lout.get(v)  # center = v itself (its self din is 0)
+        if d is not None:
+            best = d
+        d = lin.get(u)  # center = u itself (its self dout is 0)
+        if d is not None and (best is None or d < best):
+            best = d
+        if lout and lin:
+            # dout + din is symmetric, so iterate the smaller side
+            small, large = (lout, lin) if len(lout) < len(lin) else (lin, lout)
+            for c, d1 in small.items():
+                d2 = large.get(c)
+                if d2 is not None:
+                    total = d1 + d2
+                    if best is None or total < best:
+                        best = total
+        return best
+
+    def connected(self, u: Node, v: Node) -> bool:
+        return self.distance(u, v) is not None
+
+    def descendants(self, u: Node) -> Set[Node]:
+        if u not in self.nodes:
+            return set()
+        result: Set[Node] = {u}
+        result |= self._inv_lin.get(u, set())
+        lout = self.lout.get(u)
+        if lout:
+            result.update(lout)
+            for c in lout:
+                result |= self._inv_lin.get(c, set())
+        return result
+
+    def ancestors(self, v: Node) -> Set[Node]:
+        if v not in self.nodes:
+            return set()
+        result: Set[Node] = {v}
+        result |= self._inv_lout.get(v, set())
+        lin = self.lin.get(v)
+        if lin:
+            result.update(lin)
+            for c in lin:
+                result |= self._inv_lout.get(c, set())
+        return result
+
+    def descendants_within(self, u: Node, max_dist: int) -> Dict[Node, int]:
+        """Descendants of ``u`` at distance ≤ ``max_dist`` with distances.
+
+        The limited-length path lookup motivating Section 5 ("queries for
+        limited-length paths between nodes with certain tags").
+        """
+        result: Dict[Node, int] = {}
+        for d in self.descendants(u):
+            dist = self.distance(u, d)
+            if dist is not None and dist <= max_dist:
+                result[d] = dist
+        return result
+
+    # ------------------------------------------------------------------
+    # statistics & verification
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return sum(len(c) for c in self.lin.values()) + sum(
+            len(c) for c in self.lout.values()
+        )
+
+    def stored_integers(self, *, with_backward_index: bool = True) -> int:
+        """3 ints per entry (id, center, dist), doubled by the backward index."""
+        per = 6 if with_backward_index else 3
+        return per * self.size
+
+    def to_reachability(self) -> TwoHopCover:
+        """Forget distances."""
+        cover = TwoHopCover(self.nodes)
+        for node, entries in self.lin.items():
+            for c in entries:
+                cover.add_lin(node, c)
+        for node, entries in self.lout.items():
+            for c in entries:
+                cover.add_lout(node, c)
+        return cover
+
+    def verify_against(self, dclosure, nodes: Optional[Iterable[Node]] = None) -> None:
+        """Assert distances match a :class:`DistanceClosure` exactly."""
+        universe = list(nodes) if nodes is not None else list(self.nodes)
+        for u in universe:
+            for v in universe:
+                expected = dclosure.distance(u, v)
+                actual = self.distance(u, v)
+                if expected != actual:
+                    raise AssertionError(
+                        f"distance mismatch for ({u!r}, {v!r}): "
+                        f"closure says {expected}, cover says {actual}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"DistanceTwoHopCover(nodes={len(self.nodes)}, size={self.size})"

@@ -1,0 +1,369 @@
+"""The HOPI index facade.
+
+:class:`HopiIndex` ties the whole pipeline together: partition the
+document-level graph, cover every partition, join the covers, and answer
+reachability / distance / ancestor / descendant queries, with
+incremental maintenance keeping the index in sync with collection
+updates.
+
+Build strategies (``HopiIndex.build``):
+
+========================  =====================================================
+``strategy``              meaning
+========================  =====================================================
+``"unpartitioned"``       one global cover (Section 7.2's 45h/80GB baseline —
+                          best compression, worst build cost)
+``"incremental"``         divide-and-conquer with the *original* link-at-a-time
+                          cover join (Section 3.3; Table 2's "baseline" row)
+``"recursive"``           divide-and-conquer with the *new* structurally
+                          recursive PSG join (Section 4.1; the paper's
+                          contribution, Table 2's P/N rows)
+========================  =====================================================
+
+Partitioners (``partitioner``): ``"node_weight"`` (original, Section 3.3
+— Table 2's ``Px`` rows with ``partition_limit`` = max elements),
+``"closure"`` (new, Section 4.3 — ``Nx`` rows with ``partition_limit`` =
+max closure connections), ``"single"`` (one document per partition —
+Table 2's "single" row).
+
+Edge weights (``edge_weight``): ``"links"`` (original link counts),
+``"AxD"`` / ``"A+D"`` (Section 4.3's connection-based weights estimated
+on the skeleton graph).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.core import maintenance as maint
+from repro.core.cover import DistanceTwoHopCover, TwoHopCover
+from repro.core.cover_builder import build_cover
+from repro.core.distance import build_distance_cover
+from repro.core.join import (
+    join_covers_incremental,
+    join_covers_incremental_distance,
+    join_covers_recursive,
+)
+from repro.core.partitioning import (
+    Partitioning,
+    partition_by_closure_size,
+    partition_by_node_weight,
+    single_document_partitioning,
+)
+from repro.core.skeleton import connection_edge_weight
+from repro.core.stats import IndexSizeReport
+from repro.graph.closure import distance_closure, transitive_closure
+from repro.xmlmodel.model import Collection, DocId, ElementId
+
+Cover = Union[TwoHopCover, DistanceTwoHopCover]
+
+_STRATEGIES = ("unpartitioned", "incremental", "recursive")
+_PARTITIONERS = ("node_weight", "closure", "single")
+_EDGE_WEIGHTS = ("links", "AxD", "A+D")
+
+
+@dataclass
+class BuildStats:
+    """Timing and size accounting of one index build (Table 2 columns)."""
+
+    strategy: str
+    partitioner: Optional[str]
+    partition_limit: Optional[int]
+    edge_weight: str
+    distance: bool
+    num_partitions: int
+    num_cross_links: int
+    cover_size: int
+    num_nodes: int
+    seconds_total: float
+    seconds_partitioning: float = 0.0
+    seconds_partition_covers: float = 0.0
+    seconds_join: float = 0.0
+    partition_cover_seconds: List[float] = field(default_factory=list)
+    partition_closure_connections: List[int] = field(default_factory=list)
+
+    @property
+    def parallel_makespan(self) -> float:
+        """Simulated perfectly-parallel partition-cover phase: the paper
+        notes all partition covers "can be done concurrently", so the
+        phase's wall-clock lower bound is the slowest partition."""
+        longest = max(self.partition_cover_seconds, default=0.0)
+        return self.seconds_partitioning + longest + self.seconds_join
+
+
+class HopiIndex:
+    """A built HOPI index over an XML collection."""
+
+    def __init__(
+        self,
+        collection: Collection,
+        cover: Cover,
+        *,
+        stats: Optional[BuildStats] = None,
+    ) -> None:
+        self.collection = collection
+        self.cover = cover
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        collection: Collection,
+        *,
+        strategy: str = "recursive",
+        partitioner: str = "closure",
+        partition_limit: Optional[int] = None,
+        edge_weight: str = "links",
+        distance: bool = False,
+        preselect_centers: bool = True,
+        psg_node_limit: Optional[int] = None,
+        seed: int = 0,
+    ) -> "HopiIndex":
+        """Build a HOPI index.
+
+        Args:
+            collection: the XML collection to index.
+            strategy: ``"unpartitioned"``, ``"incremental"`` or
+                ``"recursive"`` (see module docstring).
+            partitioner: ``"node_weight"``, ``"closure"`` or ``"single"``.
+            partition_limit: max elements per partition
+                (``node_weight``) or max closure connections
+                (``closure``); sensible defaults are derived from the
+                collection when omitted.
+            edge_weight: ``"links"``, ``"AxD"`` or ``"A+D"``.
+            distance: build a distance-aware cover (Section 5).
+            preselect_centers: apply Section 4.2's center preselection
+                (cross-partition link targets become centers first).
+            psg_node_limit: threshold above which the PSG closure is
+                computed with the recursive clustering variant.
+            seed: partitioner seed.
+        """
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; one of {_STRATEGIES}")
+        if partitioner not in _PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {partitioner!r}; one of {_PARTITIONERS}"
+            )
+        if edge_weight not in _EDGE_WEIGHTS:
+            raise ValueError(
+                f"unknown edge weight {edge_weight!r}; one of {_EDGE_WEIGHTS}"
+            )
+        start = time.perf_counter()
+
+        if strategy == "unpartitioned":
+            graph = collection.element_graph()
+            if distance:
+                cover: Cover = build_distance_cover(graph)
+            else:
+                cover = build_cover(graph)
+            stats = BuildStats(
+                strategy=strategy,
+                partitioner=None,
+                partition_limit=None,
+                edge_weight=edge_weight,
+                distance=distance,
+                num_partitions=1,
+                num_cross_links=0,
+                cover_size=cover.size,
+                num_nodes=len(cover.nodes),
+                seconds_total=time.perf_counter() - start,
+            )
+            return cls(collection, cover, stats=stats)
+
+        # ---- step 1: partition the document-level graph ----------------
+        t0 = time.perf_counter()
+        weight_fn = None
+        if edge_weight in ("AxD", "A+D") and collection.inter_links:
+            weight_fn = connection_edge_weight(collection, mode=edge_weight)
+        if partitioner == "single":
+            partitioning = single_document_partitioning(collection)
+        elif partitioner == "node_weight":
+            limit = partition_limit or max(
+                collection.num_elements // 8, 1
+            )
+            partitioning = partition_by_node_weight(
+                collection, limit, edge_weight=weight_fn, seed=seed
+            )
+        else:
+            limit = partition_limit or max(collection.num_elements * 20, 1000)
+            partitioning = partition_by_closure_size(
+                collection, limit, edge_weight=weight_fn, seed=seed
+            )
+        seconds_partitioning = time.perf_counter() - t0
+
+        # ---- step 2: cover each partition (concurrently in the paper) --
+        cross_targets_by_partition: Dict[int, List[ElementId]] = {}
+        if preselect_centers:
+            for _, v in partitioning.cross_links:
+                pid = partitioning.part_of[collection.doc(v)]
+                cross_targets_by_partition.setdefault(pid, []).append(v)
+        partition_covers: List[Cover] = []
+        partition_seconds: List[float] = []
+        t0 = time.perf_counter()
+        for pid, docs in enumerate(partitioning.partitions):
+            t1 = time.perf_counter()
+            sub = collection.subcollection(docs)
+            graph = sub.element_graph()
+            preselected = sorted(cross_targets_by_partition.get(pid, []))
+            if distance:
+                pcov: Cover = build_distance_cover(
+                    graph, preselected_centers=preselected
+                )
+            else:
+                pcov = build_cover(graph, preselected_centers=preselected)
+            partition_covers.append(pcov)
+            partition_seconds.append(time.perf_counter() - t1)
+        seconds_partition_covers = time.perf_counter() - t0
+
+        # ---- step 3: join the partition covers --------------------------
+        t0 = time.perf_counter()
+        if distance:
+            # Section 5 notes the build algorithms carry over; the
+            # recursive join's H̄ has no distance analogue in the paper,
+            # so distance builds use the incremental join to a fixpoint.
+            cover = join_covers_incremental_distance(
+                partition_covers, partitioning.cross_links
+            )
+        elif strategy == "incremental":
+            cover = join_covers_incremental(
+                partition_covers, partitioning.cross_links
+            )
+        else:
+            cover = join_covers_recursive(
+                collection,
+                partitioning,
+                partition_covers,
+                psg_node_limit=psg_node_limit,
+            )
+        seconds_join = time.perf_counter() - t0
+
+        stats = BuildStats(
+            strategy=strategy,
+            partitioner=partitioner,
+            partition_limit=partition_limit,
+            edge_weight=edge_weight,
+            distance=distance,
+            num_partitions=partitioning.num_partitions,
+            num_cross_links=len(partitioning.cross_links),
+            cover_size=cover.size,
+            num_nodes=len(cover.nodes),
+            seconds_total=time.perf_counter() - start,
+            seconds_partitioning=seconds_partitioning,
+            seconds_partition_covers=seconds_partition_covers,
+            seconds_join=seconds_join,
+            partition_cover_seconds=partition_seconds,
+        )
+        return cls(collection, cover, stats=stats)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def is_distance_aware(self) -> bool:
+        return isinstance(self.cover, DistanceTwoHopCover)
+
+    def connected(self, u: ElementId, v: ElementId) -> bool:
+        """Reachability test ``u ->* v`` along ancestor/descendant/link axes."""
+        return self.cover.connected(u, v)
+
+    def distance(self, u: ElementId, v: ElementId) -> Optional[int]:
+        """Shortest link distance, or None when unreachable.
+
+        Requires a distance-aware index (Section 5).
+        """
+        if not self.is_distance_aware:
+            raise TypeError(
+                "distance() requires an index built with distance=True"
+            )
+        return self.cover.distance(u, v)
+
+    def descendants(self, u: ElementId) -> Set[ElementId]:
+        return self.cover.descendants(u)
+
+    def ancestors(self, v: ElementId) -> Set[ElementId]:
+        return self.cover.ancestors(v)
+
+    def size_report(self, *, with_closure: bool = False) -> IndexSizeReport:
+        """Size accounting; optionally materialises the closure for the
+        compression column (expensive — Table 2 style runs only)."""
+        closure_connections = None
+        if with_closure:
+            closure_connections = transitive_closure(
+                self.collection.element_graph()
+            ).num_connections
+        return IndexSizeReport(
+            num_nodes=len(self.cover.nodes),
+            cover_size=self.cover.size,
+            closure_connections=closure_connections,
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance passthroughs (Section 6)
+    # ------------------------------------------------------------------
+    def insert_element(self, parent: ElementId, tag: str) -> ElementId:
+        return maint.insert_element(self.collection, self.cover, parent, tag)
+
+    def insert_edge(self, u: ElementId, v: ElementId) -> maint.MaintenanceReport:
+        return maint.insert_edge(self.collection, self.cover, u, v)
+
+    def insert_document(self, doc_id: DocId) -> maint.MaintenanceReport:
+        return maint.insert_document(self.collection, self.cover, doc_id)
+
+    def delete_document(
+        self, doc_id: DocId, *, force_general: bool = False
+    ) -> maint.MaintenanceReport:
+        return maint.delete_document(
+            self.collection, self.cover, doc_id, force_general=force_general
+        )
+
+    def delete_edge(self, u: ElementId, v: ElementId) -> maint.MaintenanceReport:
+        return maint.delete_edge(self.collection, self.cover, u, v)
+
+    def document_separates(self, doc_id: DocId) -> bool:
+        return maint.document_separates(self.collection, doc_id)
+
+    def rebuild(self, **build_kwargs) -> "HopiIndex":
+        """Rebuild the cover from scratch, in place.
+
+        Section 6: "over time, the space efficiency of the 2-hop cover
+        that HOPI maintains may degrade. Then occasional rebuilds of the
+        index may be considered, using the efficient algorithm presented
+        in Section 4." Build options default to the Section-4 algorithm;
+        pass the same kwargs as :meth:`build` to override.
+
+        Returns:
+            self, with a fresh cover and fresh build stats.
+        """
+        build_kwargs.setdefault("distance", self.is_distance_aware)
+        fresh = HopiIndex.build(self.collection, **build_kwargs)
+        self.cover = fresh.cover
+        self.stats = fresh.stats
+        return self
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Check the cover against a freshly computed closure oracle.
+
+        Raises AssertionError with a counterexample on any mismatch.
+        Quadratic — meant for tests and post-maintenance audits, not for
+        production paths.
+        """
+        graph = self.collection.element_graph()
+        if self.is_distance_aware:
+            self.cover.verify_against(distance_closure(graph))
+        else:
+            self.cover.verify_against(transitive_closure(graph))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        kind = "distance" if self.is_distance_aware else "reachability"
+        return (
+            f"HopiIndex({kind}, nodes={len(self.cover.nodes)}, "
+            f"size={self.cover.size})"
+        )

@@ -1,0 +1,435 @@
+"""Incremental index maintenance (Section 6 of the paper).
+
+All operations mutate the collection *and* its 2-hop cover in lock-step,
+so that after any sequence of operations the cover represents exactly
+the connections of the current element-level graph — the invariant the
+paper's Theorems 2 and 3 establish and our property tests check against
+a from-scratch rebuild.
+
+* **Insertions** (Section 6.1): isolated nodes are trivial; a new edge
+  ``(u, v)`` is integrated with the link-insertion rule of Section 3.3
+  (``v`` becomes the center of every new connection); a new document is
+  treated as a fresh partition — its cover is computed standalone,
+  unioned in, and its incident links are integrated one at a time.
+
+* **Deletions** (Section 6.2): deleting a document ``d_i`` takes the
+  **fast path of Theorem 2** when ``d_i`` *separates* the document-level
+  graph (every ancestor-to-descendant path runs through it): labels of
+  ancestor elements drop all centers in ``V_di ∪ V_D``, labels of
+  descendant elements drop all centers in ``V_di ∪ V_A``, and ``d_i``'s
+  elements disappear. Otherwise the **general algorithm of Theorem 3**
+  partially recomputes the closure: starting from the surviving
+  ancestors of ``d_i``'s elements, the reachable region is re-covered
+  from scratch and spliced into the old cover (ancestors' ``Lout`` are
+  replaced; descendants' ``Lin`` drop ancestor-side centers and gain the
+  fresh ones).
+
+* **Edge deletion**: same structure as general document deletion, with
+  a fast path — if the edge's endpoints remain connected after removal,
+  a reachability cover is unchanged (distance covers always take the
+  general path: a lost shortest path changes distances even when
+  connectivity survives).
+
+* **Modifications** (Section 6.3): drop and reinsert the document.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Set, Tuple, Union
+
+from repro.core.cover import DistanceTwoHopCover, TwoHopCover
+from repro.core.cover_builder import build_cover
+from repro.core.distance import build_distance_cover
+from repro.core.join import insert_link, insert_link_distance
+from repro.graph.traversal import (
+    ancestors as graph_ancestors,
+    descendants as graph_descendants,
+    is_reachable,
+    multi_source_reaches,
+)
+from repro.xmlmodel.model import Collection, DocId, ElementId
+
+Cover = Union[TwoHopCover, DistanceTwoHopCover]
+
+
+@dataclass
+class MaintenanceReport:
+    """What a maintenance operation did (consumed by the benchmarks)."""
+
+    operation: str
+    separating: Optional[bool] = None
+    entries_delta: int = 0
+    recovered_region_size: int = 0
+    seconds: float = 0.0
+
+
+def _is_distance(cover: Cover) -> bool:
+    return isinstance(cover, DistanceTwoHopCover)
+
+
+# ---------------------------------------------------------------------------
+# insertions (Section 6.1)
+# ---------------------------------------------------------------------------
+
+
+def insert_element(
+    collection: Collection, cover: Cover, parent: ElementId, tag: str
+) -> ElementId:
+    """Insert a new element under ``parent`` and its tree edge.
+
+    The element is added to the collection, then the parent-child edge is
+    integrated like any other edge.
+    """
+    element = collection.add_child(parent, tag)
+    cover.add_node(element.eid)
+    insert_edge(collection, cover, parent, element.eid, _already_in_collection=True)
+    return element.eid
+
+
+def insert_edge(
+    collection: Collection,
+    cover: Cover,
+    u: ElementId,
+    v: ElementId,
+    *,
+    _already_in_collection: bool = False,
+) -> MaintenanceReport:
+    """Insert the edge/link ``u -> v`` (Section 6.1, Figure 2).
+
+    On a *complete* cover a single integration pass is exact, including
+    for distance covers: any pair whose shortest path uses the new edge
+    decomposes as ``a ->* u -> v ->* d`` where the sub-distances are
+    unchanged by the insertion (a shortest path cannot traverse the new
+    edge twice).
+    """
+    start = time.perf_counter()
+    if not _already_in_collection:
+        collection.add_link(u, v)
+    before = cover.size
+    if _is_distance(cover):
+        insert_link_distance(cover, u, v)
+    else:
+        insert_link(cover, u, v)
+    return MaintenanceReport(
+        operation="insert_edge",
+        entries_delta=cover.size - before,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def insert_document(
+    collection: Collection,
+    cover: Cover,
+    doc_id: DocId,
+) -> MaintenanceReport:
+    """Integrate a document already present in the collection.
+
+    "A new document with outgoing and incoming links can be inserted by
+    considering the document as a new partition, computing the 2–hop
+    cover for this partition and applying the algorithm for merging
+    partitions" — the document's standalone cover is unioned in and each
+    incident inter-document link is integrated with the link rule.
+
+    The caller builds the document (``new_document`` / ``add_child`` /
+    ``add_link``) first, then calls this once.
+    """
+    start = time.perf_counter()
+    before = cover.size
+    doc = collection.documents[doc_id]
+    doc_graph = doc.element_graph()
+    if _is_distance(cover):
+        local: Cover = build_distance_cover(doc_graph)
+    else:
+        local = build_cover(doc_graph)
+    cover.union(local)
+    incident = [
+        (u, v)
+        for (u, v) in sorted(collection.inter_links)
+        if collection.doc(u) == doc_id or collection.doc(v) == doc_id
+    ]
+    for u, v in incident:
+        if _is_distance(cover):
+            insert_link_distance(cover, u, v)
+        else:
+            insert_link(cover, u, v)
+    return MaintenanceReport(
+        operation="insert_document",
+        entries_delta=cover.size - before,
+        seconds=time.perf_counter() - start,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the separator test (Section 6.2, Figure 6)
+# ---------------------------------------------------------------------------
+
+
+def document_separates(collection: Collection, doc_id: DocId) -> bool:
+    """Does ``doc_id`` separate the document-level graph ``G_D(X)``?
+
+    True iff every ancestor document and descendant document of
+    ``doc_id`` are connected *only* through paths containing it — after
+    removing it, no ancestor reaches any descendant (multi-source BFS).
+    Documents on a document-level cycle through ``doc_id`` (ancestor and
+    descendant at once) void the precondition of Theorem 2, so the test
+    conservatively returns False in that case.
+    """
+    doc_graph = collection.document_graph()
+    anc = graph_ancestors(doc_graph, doc_id, strict=True)
+    desc = graph_descendants(doc_graph, doc_id, strict=True)
+    if not anc or not desc:
+        return True  # vacuously separating (e.g. link-free collections)
+    if anc & desc:
+        return False  # document-level cycle through doc_id
+    return not multi_source_reaches(
+        doc_graph, anc, desc, forbidden={doc_id}
+    )
+
+
+# ---------------------------------------------------------------------------
+# deletions (Section 6.2)
+# ---------------------------------------------------------------------------
+
+
+def _delete_document_separating(
+    collection: Collection, cover: Cover, doc_id: DocId
+) -> None:
+    """Theorem 2: filter labels, no recomputation."""
+    doc_graph = collection.document_graph()
+    anc_docs = graph_ancestors(doc_graph, doc_id, strict=True)
+    desc_docs = graph_descendants(doc_graph, doc_id, strict=True)
+    v_di: Set[ElementId] = set(collection.elements_of(doc_id))
+    v_a: Set[ElementId] = set()
+    for d in anc_docs:
+        v_a |= collection.elements_of(d)
+    v_d: Set[ElementId] = set()
+    for d in desc_docs:
+        v_d |= collection.elements_of(d)
+
+    # for all a in VA: Lout(a) \= (Vdi ∪ VD) — walk the backward index
+    for center in v_di | v_d:
+        for node in list(cover.nodes_with_lout_center(center)):
+            if node in v_a:
+                cover.discard_lout(node, center)
+    # for all d in VD: Lin(d) \= (Vdi ∪ VA)
+    for center in v_di | v_a:
+        for node in list(cover.nodes_with_lin_center(center)):
+            if node in v_d:
+                cover.discard_lin(node, center)
+    cover.remove_nodes(v_di)
+    collection.remove_document(doc_id)
+
+
+def _cover_ancestors_of_set(cover: Cover, nodes: Set[ElementId]) -> Set[ElementId]:
+    result: Set[ElementId] = set()
+    for v in nodes:
+        result |= cover.ancestors(v)
+    return result
+
+
+def _cover_descendants_of_set(cover: Cover, nodes: Set[ElementId]) -> Set[ElementId]:
+    result: Set[ElementId] = set()
+    for v in nodes:
+        result |= cover.descendants(v)
+    return result
+
+
+def _splice_fresh_cover(
+    cover: Cover,
+    fresh: Cover,
+    affected_out: Set[ElementId],
+    affected_in: Set[ElementId],
+) -> None:
+    """Theorem 3's label surgery.
+
+    ``L' := L ∪ L̂`` except: for every surviving ancestor ``a`` the out
+    label is **replaced** by the fresh one; for every surviving
+    descendant ``d`` the in label drops ancestor-side centers and gains
+    the fresh ones.
+    """
+    distance = _is_distance(cover)
+    for a in affected_out:
+        if a not in cover.nodes:
+            continue
+        if distance:
+            cover.set_lout(a, dict(fresh.lout_of(a)))
+        else:
+            cover.set_lout(a, set(fresh.lout_of(a)))
+    for d in affected_in:
+        if d not in cover.nodes:
+            continue
+        if distance:
+            kept = {
+                c: dist
+                for c, dist in cover.lin_of(d).items()
+                if c not in affected_out
+            }
+            for c, dist in fresh.lin_of(d).items():
+                if c not in kept or dist < kept[c]:
+                    kept[c] = dist
+            cover.set_lin(d, kept)
+        else:
+            kept = {c for c in cover.lin_of(d) if c not in affected_out}
+            kept |= set(fresh.lin_of(d))
+            cover.set_lin(d, kept)
+    # remaining fresh labels (nodes in the recomputed region that are
+    # neither ancestors nor descendants) are unioned in — sound because
+    # every fresh entry witnesses a real path in the new graph.
+    for node in fresh.nodes:
+        if node in affected_out and node in affected_in:
+            continue
+        if node not in affected_out:
+            if distance:
+                for c, dist in fresh.lout_of(node).items():
+                    cover.add_lout(node, c, dist)
+            else:
+                for c in fresh.lout_of(node):
+                    cover.add_lout(node, c)
+        if node not in affected_in:
+            if distance:
+                for c, dist in fresh.lin_of(node).items():
+                    cover.add_lin(node, c, dist)
+            else:
+                for c in fresh.lin_of(node):
+                    cover.add_lin(node, c)
+
+
+def _rebuild_region(
+    collection: Collection, cover: Cover, seeds: Set[ElementId]
+) -> Tuple[Cover, int]:
+    """Re-cover the part of the new graph reachable from ``seeds``."""
+    graph = collection.element_graph()
+    region: Set[ElementId] = set()
+    for s in seeds:
+        if s in graph:
+            region |= graph_descendants(graph, s)
+    sub = graph.subgraph(region)
+    if _is_distance(cover):
+        fresh: Cover = build_distance_cover(sub)
+    else:
+        fresh = build_cover(sub)
+    return fresh, len(region)
+
+
+def delete_document(
+    collection: Collection,
+    cover: Cover,
+    doc_id: DocId,
+    *,
+    force_general: bool = False,
+) -> MaintenanceReport:
+    """Delete a document and update the cover incrementally (Section 6.2).
+
+    Uses the Theorem-2 fast path when the document separates the
+    document-level graph, the Theorem-3 general algorithm otherwise
+    (or always, with ``force_general=True``, which the ablation
+    benchmark uses to quantify the fast path's benefit).
+    """
+    start = time.perf_counter()
+    before = cover.size
+    separating = not force_general and document_separates(collection, doc_id)
+    if separating:
+        _delete_document_separating(collection, cover, doc_id)
+        return MaintenanceReport(
+            operation="delete_document",
+            separating=True,
+            entries_delta=cover.size - before,
+            seconds=time.perf_counter() - start,
+        )
+    # ---- Theorem 3: partial recomputation -----------------------------
+    v_di: Set[ElementId] = set(collection.elements_of(doc_id))
+    a_di = _cover_ancestors_of_set(cover, v_di)
+    d_di = _cover_descendants_of_set(cover, v_di)
+    collection.remove_document(doc_id)
+    cover.remove_nodes(v_di)
+    seeds = a_di - v_di
+    fresh, region_size = _rebuild_region(collection, cover, seeds)
+    _splice_fresh_cover(cover, fresh, a_di - v_di, d_di - v_di)
+    return MaintenanceReport(
+        operation="delete_document",
+        separating=False,
+        entries_delta=cover.size - before,
+        recovered_region_size=region_size,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def delete_edge(
+    collection: Collection,
+    cover: Cover,
+    u: ElementId,
+    v: ElementId,
+) -> MaintenanceReport:
+    """Delete the edge/link ``u -> v`` ("a similar algorithm can be
+    applied for deleting a single edge", Section 6.2).
+
+    Fast path for reachability covers: when ``v`` stays reachable from
+    ``u`` after the removal, no connection is lost and every label entry
+    remains a valid witness, so the cover is untouched. Distance covers
+    always take the general path because surviving connections may have
+    grown longer.
+    """
+    start = time.perf_counter()
+    before = cover.size
+    sdoc = collection.doc(u)
+    is_intra = sdoc == collection.doc(v)
+    exists = (
+        (u, v) in collection.documents[sdoc].intra_links
+        if is_intra
+        else (u, v) in collection.inter_links
+    )
+    if not exists:
+        raise KeyError(
+            f"({u}, {v}) is not a link; only links (not tree edges) can be deleted"
+        )
+    collection.remove_link(u, v)
+    graph = collection.element_graph()
+    if not _is_distance(cover) and is_reachable(graph, u, v):
+        return MaintenanceReport(
+            operation="delete_edge",
+            separating=True,  # "separating" here: removal was absorbed
+            entries_delta=0,
+            seconds=time.perf_counter() - start,
+        )
+    a_e = cover.ancestors(u)  # includes u
+    d_e = cover.descendants(v)  # includes v
+    fresh, region_size = _rebuild_region(collection, cover, a_e)
+    _splice_fresh_cover(cover, fresh, a_e, d_e)
+    return MaintenanceReport(
+        operation="delete_edge",
+        separating=False,
+        entries_delta=cover.size - before,
+        recovered_region_size=region_size,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def modify_document(
+    collection: Collection,
+    cover: Cover,
+    doc_id: DocId,
+    rebuild: Callable[[Collection], None],
+) -> MaintenanceReport:
+    """Modify a document (Section 6.3): drop it and reinsert the new
+    version.
+
+    Args:
+        collection: the collection.
+        cover: the cover kept in sync.
+        doc_id: the document to replace.
+        rebuild: callback that recreates the document (and its links)
+            in the collection under the same id.
+    """
+    start = time.perf_counter()
+    before = cover.size
+    delete_document(collection, cover, doc_id)
+    rebuild(collection)
+    report = insert_document(collection, cover, doc_id)
+    return MaintenanceReport(
+        operation="modify_document",
+        entries_delta=cover.size - before,
+        recovered_region_size=report.recovered_region_size,
+        seconds=time.perf_counter() - start,
+    )

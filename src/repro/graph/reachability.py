@@ -1,0 +1,155 @@
+"""Generic 2-hop reachability index for arbitrary directed graphs.
+
+The paper's future work (Section 8): "As indexing connections in XML
+collections is not the only application for compressing the transitive
+closure of a graph, we will consider applications of this technique in
+other scenarios." This module is that application path: a thin,
+XML-free facade over the same cover machinery for any
+:class:`~repro.graph.digraph.DiGraph` — call graphs, citation networks,
+dependency graphs, workflow DAGs.
+
+Example::
+
+    from repro.graph import DiGraph
+    from repro.graph.reachability import ReachabilityIndex
+
+    calls = DiGraph([("main", "parse"), ("parse", "lex"), ("main", "emit")])
+    index = ReachabilityIndex(calls)
+    index.reachable("main", "lex")        # True
+    index.descendants("parse")           # {'parse', 'lex'}
+    index.add_edge("emit", "optimize")  # incremental maintenance
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Set
+
+from repro.core.cover import DistanceTwoHopCover, TwoHopCover
+from repro.core.cover_builder import build_cover
+from repro.core.distance import build_distance_cover
+from repro.core.join import insert_link, insert_link_distance
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import descendants as graph_descendants
+from repro.graph.traversal import is_reachable
+
+Node = Hashable
+
+
+class ReachabilityIndex:
+    """A 2-hop cover over an arbitrary digraph, kept in sync with it.
+
+    Args:
+        graph: the graph to index (referenced, not copied — mutate it
+            only through this index).
+        distance: index shortest hop distances too (Section 5).
+    """
+
+    def __init__(self, graph: DiGraph, *, distance: bool = False) -> None:
+        self._graph = graph
+        self._distance = distance
+        if distance:
+            self._cover: "TwoHopCover | DistanceTwoHopCover" = (
+                build_distance_cover(graph)
+            )
+        else:
+            self._cover = build_cover(graph)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def reachable(self, u: Node, v: Node) -> bool:
+        """``u ->* v`` in O(|Lout(u)| + |Lin(v)|)."""
+        return self._cover.connected(u, v)
+
+    def distance(self, u: Node, v: Node) -> Optional[int]:
+        """Shortest hop distance, or None (requires ``distance=True``)."""
+        if not self._distance:
+            raise TypeError("index was built without distance=True")
+        return self._cover.distance(u, v)
+
+    def descendants(self, u: Node) -> Set[Node]:
+        return self._cover.descendants(u)
+
+    def ancestors(self, v: Node) -> Set[Node]:
+        return self._cover.ancestors(v)
+
+    @property
+    def size(self) -> int:
+        """Number of label entries (the compressed closure size)."""
+        return self._cover.size
+
+    @property
+    def cover(self) -> "TwoHopCover | DistanceTwoHopCover":
+        return self._cover
+
+    # ------------------------------------------------------------------
+    # maintenance (Section 6 specialised to bare graphs)
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node) -> None:
+        self._graph.add_node(v)
+        self._cover.add_node(v)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert an edge and integrate it (Figure 2's center rule)."""
+        self._graph.add_edge(u, v)
+        self._cover.add_node(u)
+        self._cover.add_node(v)
+        if self._distance:
+            insert_link_distance(self._cover, u, v)
+        else:
+            insert_link(self._cover, u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete an edge; re-covers the affected region (Theorem 3's
+        scheme on the bare graph)."""
+        self._graph.remove_edge(u, v)
+        if not self._distance and is_reachable(self._graph, u, v):
+            return  # absorbed: every label entry is still witnessed
+        self._rebuild_affected(
+            self._cover.ancestors(u), self._cover.descendants(v)
+        )
+
+    def remove_node(self, v: Node) -> None:
+        """Delete a node with all incident edges."""
+        affected_out = self._cover.ancestors(v) - {v}
+        affected_in = self._cover.descendants(v) - {v}
+        self._graph.remove_node(v)
+        self._cover.remove_nodes({v})
+        self._rebuild_affected(affected_out, affected_in)
+
+    def _rebuild_affected(
+        self, affected_out: Set[Node], affected_in: Set[Node]
+    ) -> None:
+        region: Set[Node] = set()
+        for s in affected_out:
+            if s in self._graph:
+                region |= graph_descendants(self._graph, s)
+        sub = self._graph.subgraph(region)
+        if self._distance:
+            fresh: "TwoHopCover | DistanceTwoHopCover" = build_distance_cover(sub)
+        else:
+            fresh = build_cover(sub)
+        # same splice as document deletion: replace ancestor out-labels,
+        # filter descendant in-labels, union the rest
+        from repro.core.maintenance import _splice_fresh_cover
+
+        _splice_fresh_cover(
+            self._cover,
+            fresh,
+            {a for a in affected_out if a in self._graph},
+            {d for d in affected_in if d in self._graph},
+        )
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Audit against a BFS oracle (tests/debugging)."""
+        from repro.graph.closure import distance_closure, transitive_closure
+
+        if self._distance:
+            self._cover.verify_against(distance_closure(self._graph))
+        else:
+            self._cover.verify_against(transitive_closure(self._graph))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        kind = "distance" if self._distance else "reachability"
+        return f"ReachabilityIndex({kind}, nodes={len(self._graph)}, size={self.size})"

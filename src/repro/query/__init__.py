@@ -1,0 +1,30 @@
+"""Path-expression evaluation over the HOPI index.
+
+The paper motivates HOPI with XPath ``//`` (descendant-or-self) steps
+over link-rich collections and with the XXL search engine's ranked
+queries like ``//~book//author`` (Section 5.1), where ``~`` requests
+ontology-based tag similarity and results are ranked by a combination of
+tag similarity and link distance. This package provides:
+
+* :mod:`repro.query.pathexpr` — a parser for the path dialect
+  (``/child``, ``//descendant``, ``*`` wildcards, ``~tag`` similarity);
+* :mod:`repro.query.ontology` — a miniature tag ontology with
+  similarity scores;
+* :mod:`repro.query.engine` — the evaluator: child steps use the tree,
+  descendant steps use HOPI reachability, and ranking uses the distance
+  index when available.
+"""
+
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.ontology import TagOntology, default_ontology
+from repro.query.pathexpr import PathExpression, Step, parse_path
+
+__all__ = [
+    "QueryEngine",
+    "QueryResult",
+    "TagOntology",
+    "default_ontology",
+    "PathExpression",
+    "Step",
+    "parse_path",
+]

@@ -1,0 +1,74 @@
+"""A miniature tag ontology for ``~tag`` similarity tests.
+
+Stands in for the WordNet-style ontology of the XXL search engine
+(Section 5.1's example: ``book`` is ontologically similar to
+``monography`` or ``publication``). Similarities are symmetric scores in
+``(0, 1]``; a tag is always similarity 1.0 to itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class TagOntology:
+    """Symmetric tag-similarity table."""
+
+    def __init__(self) -> None:
+        self._sim: Dict[Tuple[str, str], float] = {}
+
+    def relate(self, a: str, b: str, similarity: float) -> None:
+        """Declare ``a`` ~ ``b`` with the given similarity score.
+
+        Raises:
+            ValueError: if the score is outside ``(0, 1]``.
+        """
+        if not 0.0 < similarity <= 1.0:
+            raise ValueError("similarity must be in (0, 1]")
+        key = (a, b) if a <= b else (b, a)
+        self._sim[key] = similarity
+
+    def similarity(self, a: str, b: str) -> float:
+        """Similarity of two tags (1.0 when equal, 0.0 when unrelated)."""
+        if a == b:
+            return 1.0
+        key = (a, b) if a <= b else (b, a)
+        return self._sim.get(key, 0.0)
+
+    def similar_tags(
+        self, tag: str, candidates: Iterable[str], *, threshold: float = 0.0
+    ) -> List[Tuple[str, float]]:
+        """Candidates similar to ``tag`` above the threshold, best first."""
+        scored = [
+            (c, self.similarity(tag, c))
+            for c in candidates
+        ]
+        result = [(c, s) for (c, s) in scored if s > threshold]
+        result.sort(key=lambda cs: (-cs[1], cs[0]))
+        return result
+
+
+def default_ontology() -> TagOntology:
+    """The built-in bibliographic ontology used by the examples.
+
+    Mirrors the paper's motivating vocabulary: publications, books,
+    articles, authors and the INEX article structure.
+    """
+    onto = TagOntology()
+    for a, b, s in [
+        ("book", "monography", 0.9),
+        ("book", "publication", 0.8),
+        ("article", "publication", 0.8),
+        ("article", "paper", 0.9),
+        ("book", "article", 0.5),
+        ("author", "creator", 0.9),
+        ("author", "editor", 0.6),
+        ("title", "st", 0.7),          # INEX section titles
+        ("section", "sec", 1.0),
+        ("paragraph", "p", 1.0),
+        ("cite", "reference", 0.9),
+        ("cite", "bibentry", 0.7),
+        ("keyword", "term", 0.8),
+    ]:
+        onto.relate(a, b, s)
+    return onto

@@ -1,0 +1,93 @@
+"""Parser for the path-expression dialect.
+
+Grammar (a practical subset of XPath's location paths, extended with
+XXL's ``~`` similarity operator)::
+
+    path  := step+
+    step  := axis test
+    axis  := "/"        (child)
+           | "//"       (descendant-or-self, evaluated via HOPI)
+    test  := NAME | "~" NAME | "*"
+
+Examples: ``//book//author``, ``/bib/book/title``, ``//~publication/*``.
+
+A leading ``/`` anchors the first step at document roots; a leading
+``//`` matches elements at any depth (including across links — that is
+the point of HOPI).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+_STEP_RE = re.compile(r"(//|/)(~?)([A-Za-z_][\w.\-]*|\*)")
+
+
+class PathSyntaxError(ValueError):
+    """Raised on malformed path expressions."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step.
+
+    Attributes:
+        axis: ``"child"`` or ``"descendant"``.
+        tag: element test (``"*"`` matches any tag).
+        similar: True for ``~tag`` similarity tests.
+    """
+
+    axis: str
+    tag: str
+    similar: bool = False
+
+    def __str__(self) -> str:
+        prefix = "/" if self.axis == "child" else "//"
+        return f"{prefix}{'~' if self.similar else ''}{self.tag}"
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A parsed path expression (a non-empty sequence of steps)."""
+
+    steps: tuple
+
+    def __str__(self) -> str:
+        return "".join(str(s) for s in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def parse_path(text: str) -> PathExpression:
+    """Parse a path expression.
+
+    Raises:
+        PathSyntaxError: on empty input, trailing garbage, ``~*``, or a
+            missing leading axis.
+    """
+    text = text.strip()
+    if not text:
+        raise PathSyntaxError("empty path expression")
+    steps: List[Step] = []
+    pos = 0
+    while pos < len(text):
+        m = _STEP_RE.match(text, pos)
+        if not m:
+            raise PathSyntaxError(
+                f"malformed path expression at offset {pos}: {text[pos:]!r}"
+            )
+        axis_token, tilde, tag = m.groups()
+        if tilde and tag == "*":
+            raise PathSyntaxError("'~*' is meaningless: '*' already matches all")
+        steps.append(
+            Step(
+                axis="descendant" if axis_token == "//" else "child",
+                tag=tag,
+                similar=bool(tilde),
+            )
+        )
+        pos = m.end()
+    return PathExpression(tuple(steps))

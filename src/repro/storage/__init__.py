@@ -1,0 +1,28 @@
+"""Database-backed persistence of the HOPI index (Section 3.4).
+
+The paper stores the 2-hop cover in two relational tables ``LIN(ID,
+INID)`` and ``LOUT(ID, OUTID)`` (plus a ``DIST`` column for
+distance-aware covers, Section 5.1), indexed forward *and* backward, and
+evaluates connection tests as one indexed join. This package reproduces
+that design on SQLite (the paper used Oracle 9.2 — the layout and the
+SQL are schema-level and carry over verbatim):
+
+* :mod:`repro.storage.schema` — DDL and the paper's query strings;
+* :mod:`repro.storage.db` — :class:`SQLiteCoverStore`, answering
+  connection/distance/ancestor/descendant queries in SQL, plus
+  collection persistence for a fully self-contained index file;
+* :mod:`repro.storage.memstore` — an in-memory store with the same
+  interface (the benchmark baseline for the SQL overhead).
+"""
+
+from repro.storage.base import CoverStore
+from repro.storage.db import SQLiteCoverStore, load_index, persist_index
+from repro.storage.memstore import MemoryCoverStore
+
+__all__ = [
+    "CoverStore",
+    "SQLiteCoverStore",
+    "MemoryCoverStore",
+    "load_index",
+    "persist_index",
+]

@@ -1,0 +1,41 @@
+"""The store interface shared by the SQL and in-memory backends."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Set
+
+from repro.core.cover import DistanceTwoHopCover, TwoHopCover
+
+
+class CoverStore(ABC):
+    """Query interface over a persisted 2-hop cover.
+
+    Implementations answer the paper's four query shapes: connection
+    test, shortest distance (when the stored cover is distance-aware),
+    and ancestor/descendant enumeration.
+    """
+
+    @abstractmethod
+    def connected(self, u: int, v: int) -> bool:
+        """Reachability test ``u ->* v``."""
+
+    @abstractmethod
+    def distance(self, u: int, v: int) -> Optional[int]:
+        """Shortest distance or None; requires a distance-aware cover."""
+
+    @abstractmethod
+    def descendants(self, u: int) -> Set[int]:
+        """All elements reachable from ``u`` (including ``u``)."""
+
+    @abstractmethod
+    def ancestors(self, v: int) -> Set[int]:
+        """All elements reaching ``v`` (including ``v``)."""
+
+    @abstractmethod
+    def cover_size(self) -> int:
+        """Number of stored label entries (|L|)."""
+
+    @abstractmethod
+    def load_cover(self) -> "TwoHopCover | DistanceTwoHopCover":
+        """Materialise the stored cover back into memory."""

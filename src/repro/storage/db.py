@@ -1,0 +1,278 @@
+"""SQLite-backed HOPI store (Section 3.4 on SQLite instead of Oracle).
+
+:class:`SQLiteCoverStore` persists a 2-hop cover (and optionally the
+collection it indexes) into a single database file and answers queries
+with the paper's SQL statements. ``:memory:`` databases are supported
+for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Optional, Set, Union
+
+from repro.core.cover import DistanceTwoHopCover, TwoHopCover
+from repro.core.hopi import HopiIndex
+from repro.storage import schema
+from repro.storage.base import CoverStore
+from repro.xmlmodel.model import Collection
+
+Cover = Union[TwoHopCover, DistanceTwoHopCover]
+
+
+class SQLiteCoverStore(CoverStore):
+    """A 2-hop cover stored in LIN/LOUT tables with forward + backward
+    indexes.
+
+    Args:
+        path: database file path, or ``":memory:"``.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(schema.SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save_cover(self, cover: Cover) -> None:
+        """(Re)write the LIN/LOUT tables from an in-memory cover."""
+        distance = isinstance(cover, DistanceTwoHopCover)
+        cur = self._conn.cursor()
+        cur.execute("DELETE FROM LIN")
+        cur.execute("DELETE FROM LOUT")
+        cur.execute(
+            "INSERT OR REPLACE INTO META (KEY, VALUE) VALUES ('distance', ?)",
+            ("1" if distance else "0",),
+        )
+        cur.execute(
+            "INSERT OR REPLACE INTO META (KEY, VALUE) VALUES ('nodes', ?)",
+            (",".join(str(n) for n in sorted(cover.nodes)),),
+        )
+        if distance:
+            cur.executemany(
+                "INSERT INTO LIN (ID, INID, DIST) VALUES (?, ?, ?)",
+                (
+                    (node, center, dist)
+                    for node, entries in cover.lin.items()
+                    for center, dist in entries.items()
+                ),
+            )
+            cur.executemany(
+                "INSERT INTO LOUT (ID, OUTID, DIST) VALUES (?, ?, ?)",
+                (
+                    (node, center, dist)
+                    for node, entries in cover.lout.items()
+                    for center, dist in entries.items()
+                ),
+            )
+        else:
+            cur.executemany(
+                "INSERT INTO LIN (ID, INID) VALUES (?, ?)",
+                (
+                    (node, center)
+                    for node, centers in cover.lin.items()
+                    for center in centers
+                ),
+            )
+            cur.executemany(
+                "INSERT INTO LOUT (ID, OUTID) VALUES (?, ?)",
+                (
+                    (node, center)
+                    for node, centers in cover.lout.items()
+                    for center in centers
+                ),
+            )
+        self._conn.commit()
+
+    def load_cover(self) -> Cover:
+        """Materialise the stored cover back into memory."""
+        cur = self._conn.cursor()
+        distance = self._meta("distance") == "1"
+        nodes_blob = self._meta("nodes") or ""
+        nodes = [int(x) for x in nodes_blob.split(",") if x]
+        if distance:
+            dcov = DistanceTwoHopCover(nodes)
+            for node, center, dist in cur.execute("SELECT ID, INID, DIST FROM LIN"):
+                dcov.add_lin(node, center, dist)
+            for node, center, dist in cur.execute(
+                "SELECT ID, OUTID, DIST FROM LOUT"
+            ):
+                dcov.add_lout(node, center, dist)
+            return dcov
+        cov = TwoHopCover(nodes)
+        for node, center in cur.execute("SELECT ID, INID FROM LIN"):
+            cov.add_lin(node, center)
+        for node, center in cur.execute("SELECT ID, OUTID FROM LOUT"):
+            cov.add_lout(node, center)
+        return cov
+
+    def save_collection(self, collection: Collection) -> None:
+        cur = self._conn.cursor()
+        cur.execute("DELETE FROM DOCUMENTS")
+        cur.execute("DELETE FROM ELEMENTS")
+        cur.execute("DELETE FROM LINKS")
+        cur.executemany(
+            "INSERT INTO DOCUMENTS (DOC_ID, ROOT) VALUES (?, ?)",
+            ((d.doc_id, d.root) for d in collection.documents.values()),
+        )
+        cur.executemany(
+            "INSERT INTO ELEMENTS (EID, DOC_ID, TAG, PARENT, TEXT) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                (e.eid, e.doc, e.tag, e.parent, e.text)
+                for e in collection.elements.values()
+            ),
+        )
+        rows = [
+            (u, v, "inter") for (u, v) in collection.inter_links
+        ] + [
+            (u, v, "intra")
+            for d in collection.documents.values()
+            for (u, v) in d.intra_links
+        ]
+        cur.executemany(
+            "INSERT INTO LINKS (SOURCE, TARGET, KIND) VALUES (?, ?, ?)", rows
+        )
+        self._conn.commit()
+
+    def load_collection(self) -> Collection:
+        cur = self._conn.cursor()
+        collection = Collection()
+        roots: Dict[str, int] = dict(
+            cur.execute("SELECT DOC_ID, ROOT FROM DOCUMENTS")
+        )
+        elements = list(
+            cur.execute(
+                "SELECT EID, DOC_ID, TAG, PARENT, TEXT FROM ELEMENTS ORDER BY EID"
+            )
+        )
+        # rebuild in eid order: parents always have smaller ids than
+        # their children by construction, so one pass suffices
+        for eid, doc_id, tag, parent, text in elements:
+            if parent is None:
+                if eid != roots[doc_id]:
+                    raise ValueError(
+                        f"corrupt store: root mismatch for {doc_id!r}"
+                    )
+                # allocate with the exact same id
+                collection._next_id = eid
+                element = collection.new_document(doc_id, tag)
+            else:
+                collection._next_id = eid
+                element = collection.add_child(parent, tag)
+            if element.eid != eid:
+                raise ValueError("corrupt store: non-contiguous element ids")
+            element.text = text
+        max_eid = max((e[0] for e in elements), default=-1)
+        collection._next_id = max_eid + 1
+        for source, target, _kind in cur.execute(
+            "SELECT SOURCE, TARGET, KIND FROM LINKS"
+        ):
+            collection.add_link(source, target)
+        return collection
+
+    # ------------------------------------------------------------------
+    # queries (the paper's SQL)
+    # ------------------------------------------------------------------
+    def _meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT VALUE FROM META WHERE KEY = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def _node_known(self, v: int) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM ELEMENTS WHERE EID = ? LIMIT 1", (v,)
+        ).fetchone()
+        if row:
+            return True
+        # fall back to label presence when no collection is stored
+        for q in (
+            "SELECT 1 FROM LIN WHERE ID = ? LIMIT 1",
+            "SELECT 1 FROM LOUT WHERE ID = ? LIMIT 1",
+            "SELECT 1 FROM LIN WHERE INID = ? LIMIT 1",
+            "SELECT 1 FROM LOUT WHERE OUTID = ? LIMIT 1",
+        ):
+            if self._conn.execute(q, (v,)).fetchone():
+                return True
+        nodes_blob = self._meta("nodes") or ""
+        return str(v) in nodes_blob.split(",") if nodes_blob else False
+
+    def connected(self, u: int, v: int) -> bool:
+        if u == v:
+            return self._node_known(u)
+        cur = self._conn.cursor()
+        if cur.execute(schema.SELF_OUT_QUERY, (u, v)).fetchone():
+            return True
+        if cur.execute(schema.SELF_IN_QUERY, (v, u)).fetchone():
+            return True
+        (count,) = cur.execute(schema.CONNECTION_QUERY, (u, v)).fetchone()
+        return count > 0
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        if self._meta("distance") != "1":
+            raise TypeError("store does not hold a distance-aware cover")
+        if u == v:
+            return 0 if self._node_known(u) else None
+        cur = self._conn.cursor()
+        best: Optional[int] = None
+        (d,) = cur.execute(schema.SELF_OUT_DISTANCE_QUERY, (u, v)).fetchone()
+        if d is not None:
+            best = d
+        (d,) = cur.execute(schema.SELF_IN_DISTANCE_QUERY, (v, u)).fetchone()
+        if d is not None and (best is None or d < best):
+            best = d
+        (d,) = cur.execute(schema.DISTANCE_QUERY, (u, v)).fetchone()
+        if d is not None and (best is None or d < best):
+            best = d
+        return best
+
+    def descendants(self, u: int) -> Set[int]:
+        result = {
+            row[0]
+            for row in self._conn.execute(schema.DESCENDANTS_QUERY, (u, u, u))
+        }
+        result.add(u)
+        return result
+
+    def ancestors(self, v: int) -> Set[int]:
+        result = {
+            row[0]
+            for row in self._conn.execute(schema.ANCESTORS_QUERY, (v, v, v))
+        }
+        result.add(v)
+        return result
+
+    def cover_size(self) -> int:
+        (n_in,) = self._conn.execute("SELECT COUNT(*) FROM LIN").fetchone()
+        (n_out,) = self._conn.execute("SELECT COUNT(*) FROM LOUT").fetchone()
+        return n_in + n_out
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteCoverStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def persist_index(index: HopiIndex, path: str) -> SQLiteCoverStore:
+    """Write a built index (cover + collection) to a database file."""
+    store = SQLiteCoverStore(path)
+    store.save_collection(index.collection)
+    store.save_cover(index.cover)
+    return store
+
+
+def load_index(path: str) -> HopiIndex:
+    """Load a previously persisted index back into memory."""
+    with SQLiteCoverStore(path) as store:
+        collection = store.load_collection()
+        cover = store.load_cover()
+    cover.nodes |= set(collection.elements)
+    return HopiIndex(collection, cover)

@@ -1,0 +1,188 @@
+"""Tests for the XML collection data model (Section 2 of the paper)."""
+
+import pytest
+
+from repro.graph.traversal import is_acyclic
+from repro.xmlmodel import Collection
+
+
+@pytest.fixture
+def figure1():
+    """The three-document collection of Figure 1 (paper node numbering).
+
+    d1 holds elements 1, 2, 3, 4 in a chain 1 -> 2 -> 3 -> 4? The figure
+    only fixes the features we assert on: nine numbered elements across
+    three documents, parent-child edges, one intra-document link and two
+    inter-document links. We reconstruct a faithful variant: d1 = {1, 2, 3},
+    d2 = {4, 5, 6}, d3 = {7, 8, 9}; tree edges 1->2, 1->3 / 4->5, 4->6 /
+    7->8, 7->9; intra link 9 -> 8; inter links 3 -> 4 (d1 -> d2) and
+    8 -> 5 (d3 -> d2).
+    """
+    c = Collection()
+    ids = {}
+    for doc, (root_label, kids) in {
+        "d1": (1, [2, 3]),
+        "d2": (4, [5, 6]),
+        "d3": (7, [8, 9]),
+    }.items():
+        root = c.new_document(doc, "r")
+        ids[root_label] = root.eid
+        for k in kids:
+            ids[k] = c.add_child(root.eid, "e").eid
+    c.add_link(ids[9], ids[8])  # intra d3
+    c.add_link(ids[3], ids[4])  # inter d1 -> d2
+    c.add_link(ids[8], ids[5])  # inter d3 -> d2
+    return c, ids
+
+
+def test_new_document_and_children():
+    c = Collection()
+    root = c.new_document("d", "article")
+    child = c.add_child(root.eid, "title")
+    assert c.num_documents == 1
+    assert c.num_elements == 2
+    assert c.elements[child.eid].parent == root.eid
+    assert c.elements[child.eid].tag == "title"
+    assert c.doc(child.eid) == "d"
+
+
+def test_duplicate_document_rejected():
+    c = Collection()
+    c.new_document("d")
+    with pytest.raises(ValueError):
+        c.new_document("d")
+
+
+def test_element_ids_dense_and_global():
+    c = Collection()
+    r1 = c.new_document("a")
+    r2 = c.new_document("b")
+    ch = c.add_child(r1.eid, "x")
+    assert {r1.eid, r2.eid, ch.eid} == {0, 1, 2}
+
+
+def test_link_classification(figure1):
+    c, ids = figure1
+    assert (ids[9], ids[8]) in c.documents["d3"].intra_links
+    assert (ids[3], ids[4]) in c.inter_links
+    assert (ids[8], ids[5]) in c.inter_links
+    assert c.num_links == 3
+
+
+def test_element_graph_edges(figure1):
+    c, ids = figure1
+    g = c.element_graph()
+    assert len(g) == 9
+    # tree edges + intra + inter
+    assert g.has_edge(ids[1], ids[2])
+    assert g.has_edge(ids[9], ids[8])
+    assert g.has_edge(ids[3], ids[4])
+    assert g.num_edges() == 6 + 3
+
+
+def test_document_graph(figure1):
+    c, ids = figure1
+    g = c.document_graph()
+    assert set(g.nodes()) == {"d1", "d2", "d3"}
+    assert g.has_edge("d1", "d2")
+    assert g.has_edge("d3", "d2")
+    assert g.num_edges() == 2
+
+
+def test_document_link_counts(figure1):
+    c, _ = figure1
+    assert c.document_link_counts() == {("d1", "d2"): 1, ("d3", "d2"): 1}
+
+
+def test_document_weights(figure1):
+    c, _ = figure1
+    assert c.document_weights() == {"d1": 3, "d2": 3, "d3": 3}
+
+
+def test_remove_link(figure1):
+    c, ids = figure1
+    c.remove_link(ids[3], ids[4])
+    assert (ids[3], ids[4]) not in c.inter_links
+    c.remove_link(ids[9], ids[8])
+    assert not c.documents["d3"].intra_links
+
+
+def test_remove_document(figure1):
+    c, ids = figure1
+    removed = c.remove_document("d2")
+    assert removed == {ids[4], ids[5], ids[6]}
+    assert c.num_documents == 2
+    assert c.num_elements == 6
+    # inter links touching d2 are gone
+    assert c.inter_links == set()
+    assert ids[4] not in c.elements
+
+
+def test_subcollection_partition(figure1):
+    c, ids = figure1
+    sub = c.subcollection(["d1", "d2"])
+    assert sub.num_documents == 2
+    assert sub.num_elements == 6
+    # only links with both ends inside survive
+    assert sub.inter_links == {(ids[3], ids[4])}
+    # element ids preserved
+    assert ids[1] in sub.elements
+
+
+def test_intra_link_endpoint_validation():
+    c = Collection()
+    r1 = c.new_document("a")
+    r2 = c.new_document("b")
+    # a link across documents is inter; misuse of document API raises
+    with pytest.raises(KeyError):
+        c.documents["a"].add_intra_link(r1.eid, r2.eid)
+
+
+def test_tree_counts_figure5_convention():
+    # Root of an 8-element tree is annotated (1, 8) in Figure 5.
+    c = Collection()
+    root = c.new_document("d", "r")
+    level1 = [c.add_child(root.eid, "a") for _ in range(3)]
+    for e in level1:
+        c.add_child(e.eid, "b")
+    c.add_child(level1[0].eid, "b")
+    doc = c.documents["d"]
+    counts = doc.tree_counts()
+    assert doc.num_elements == 8
+    assert counts[root.eid] == (1, 8)
+    assert counts[level1[0].eid] == (2, 3)
+    leaf = doc.children[level1[1].eid][0]
+    assert counts[leaf] == (3, 1)
+
+
+def test_tree_counts_ignore_intra_links():
+    c = Collection()
+    root = c.new_document("d", "r")
+    a = c.add_child(root.eid, "a")
+    b = c.add_child(root.eid, "b")
+    c.add_link(a.eid, b.eid)  # intra link must not affect tree counts
+    counts = c.documents["d"].tree_counts()
+    assert counts[a.eid] == (2, 1)
+    assert counts[b.eid] == (2, 1)
+
+
+def test_tags_index():
+    c = Collection()
+    root = c.new_document("d", "article")
+    c.add_child(root.eid, "author")
+    c.add_child(root.eid, "author")
+    c.add_child(root.eid, "title")
+    tags = c.tags()
+    assert len(tags["author"]) == 2
+    assert tags["article"] == [root.eid]
+
+
+def test_document_tree_is_acyclic_graph():
+    c = Collection()
+    root = c.new_document("d", "r")
+    x = c.add_child(root.eid, "x")
+    y = c.add_child(x.eid, "y")
+    c.add_link(y.eid, x.eid)  # intra link creating a cycle in G_E(d)
+    g = c.documents["d"].element_graph()
+    assert not is_acyclic(g)
+    assert g.has_edge(y.eid, x.eid)

@@ -1,0 +1,155 @@
+"""Reconstructions of the paper's worked examples (Figures 1, 3, 5, 6).
+
+The figures fix the qualitative structure (three linked documents, their
+partitioning and skeleton graphs, separating vs non-separating
+documents); we rebuild faithful instances and assert the properties the
+paper reads off them.
+"""
+
+import pytest
+
+from repro.core.cover_builder import build_cover
+from repro.core.maintenance import document_separates
+from repro.core.partitioning import Partitioning, compute_cross_links
+from repro.core.skeleton import (
+    annotate_tree_counts,
+    build_psg,
+    build_skeleton_graph,
+)
+from repro.graph import transitive_closure
+from repro.xmlmodel import Collection
+
+
+@pytest.fixture
+def figure1_collection():
+    """Figure 1: three documents with parent-child edges, one
+    intra-document link and two inter-document links; the figure shows
+    that for the chosen u (in d1) and v (in d2), Lout(u) ∩ Lin(v) = {5}.
+
+    Our faithful reconstruction (element numbers follow the figure's
+    spirit, not its unreadable exact layout):
+
+    d1: 1 -> 2, 1 -> 3           (u := 1)
+    d2: 4 -> 5, 5 -> 6           (v := 6)
+    d3: 7 -> 8, 7 -> 9, intra 9 -> 8
+    links: 3 -> 5 (d1 to d2), 8 -> 4 (d3 to d2)
+    """
+    c = Collection()
+    ids = {}
+    r = c.new_document("d1", "e1")
+    ids[1] = r.eid
+    ids[2] = c.add_child(r.eid, "e2").eid
+    ids[3] = c.add_child(r.eid, "e3").eid
+    r = c.new_document("d2", "e4")
+    ids[4] = r.eid
+    ids[5] = c.add_child(r.eid, "e5").eid
+    ids[6] = c.add_child(ids[5], "e6").eid
+    r = c.new_document("d3", "e7")
+    ids[7] = r.eid
+    ids[8] = c.add_child(r.eid, "e8").eid
+    ids[9] = c.add_child(r.eid, "e9").eid
+    c.add_link(ids[9], ids[8])  # intra-document link
+    c.add_link(ids[3], ids[5])  # inter-document link d1 -> d2
+    c.add_link(ids[8], ids[4])  # inter-document link d3 -> d2
+    return c, ids
+
+
+def test_figure1_two_hop_labels(figure1_collection):
+    """u and v are connected because Lout(u) ∩ Lin(v) is non-empty; the
+    figure's witness center is element 5."""
+    c, ids = figure1_collection
+    cover = build_cover(c.element_graph())
+    cover.verify_against(transitive_closure(c.element_graph()))
+    u, v = ids[1], ids[6]
+    assert cover.connected(u, v)
+    witness = (cover.lout_of(u) | {u}) & (cover.lin_of(v) | {v})
+    assert witness, "a common center must witness the connection"
+    # node 5 lies on every u -> v path, so it is a valid witness; the
+    # greedy builder indeed picks a center on that path
+    path_nodes = {ids[3], ids[5], ids[6], ids[1]}
+    assert witness & path_nodes
+
+
+def test_figure1_cross_document_reachability(figure1_collection):
+    c, ids = figure1_collection
+    cover = build_cover(c.element_graph())
+    # d3's element 8 links to d2's root 4, reaching 5 and 6
+    assert cover.connected(ids[7], ids[6])
+    assert cover.connected(ids[9], ids[4])  # via intra link 9 -> 8 -> link
+    assert not cover.connected(ids[6], ids[1])
+
+
+def test_figure3_psg(figure1_collection):
+    """Figure 3: partitioning {d1, d3} | {d2} and its PSG.
+
+    The PSG's nodes are the endpoints of cross-partition links (3, 5, 8,
+    4 in our numbering); its edges are the links; no within-partition
+    target-to-source edges arise because d1/d3's sources are not
+    reachable from any target in the same partition.
+    """
+    c, ids = figure1_collection
+    groups = [["d1", "d3"], ["d2"]]
+    part_of = {d: i for i, g in enumerate(groups) for d in g}
+    partitioning = Partitioning(groups, compute_cross_links(c, part_of), part_of)
+    covers = [
+        build_cover(c.subcollection(docs).element_graph())
+        for docs in partitioning.partitions
+    ]
+    psg = build_psg(c, partitioning, lambda pid, e: covers[pid].descendants(e))
+    assert set(psg.nodes()) == {ids[3], ids[5], ids[8], ids[4]}
+    assert psg.has_edge(ids[3], ids[5])
+    assert psg.has_edge(ids[8], ids[4])
+    # within d2: target 4 reaches nothing that is a source; target 5 either
+    assert psg.num_edges() == 2
+
+
+def test_figure5_skeleton_annotations(figure1_collection):
+    """Figure 5: the skeleton graph's nodes are annotated with their
+    (ancestor, descendant) counts in their document's tree — the root of
+    an n-element document carries (1, n)."""
+    c, ids = figure1_collection
+    skel = build_skeleton_graph(c)
+    assert set(skel.nodes()) == {ids[3], ids[5], ids[8], ids[4]}
+    counts = annotate_tree_counts(c, skel.nodes())
+    assert counts[ids[4]] == (1, 3)  # d2's root: 1 ancestor, 3 descendants
+    assert counts[ids[3]] == (2, 1)  # leaf under d1's root
+    assert counts[ids[5]] == (2, 2)  # 5 has child 6
+    assert counts[ids[8]] == (2, 1)
+
+
+def test_figure5_skeleton_edges(figure1_collection):
+    c, ids = figure1_collection
+    skel = build_skeleton_graph(c)
+    # the two inter-document links
+    assert skel.has_edge(ids[3], ids[5])
+    assert skel.has_edge(ids[8], ids[4])
+    # no target reaches a source within the same document here
+    assert skel.num_edges() == 2
+
+
+def test_figure6_separating_vs_non_separating():
+    """Figure 6: 'Document 6 separates the document-level graph,
+    document 5 does not.'
+
+    Reconstructed topology (document-level):
+        1 -> 2 -> 6, 3 -> 6, 6 -> 9   (everything into 9 runs via 6)
+        1 -> 5, 5 -> 8, 4 -> 8        (8 also reachable without 5)
+    """
+    c = Collection()
+    for n in range(1, 10):
+        c.new_document(f"doc{n}", "r")
+    roots = {n: c.documents[f"doc{n}"].root for n in range(1, 10)}
+
+    def link(a, b):
+        c.add_link(roots[a], roots[b])
+
+    link(1, 2)
+    link(2, 6)
+    link(3, 6)
+    link(6, 9)
+    link(1, 5)
+    link(5, 8)
+    link(4, 8)
+    link(1, 4)  # 1 reaches 8 both via 5 and via 4
+    assert document_separates(c, "doc6")
+    assert not document_separates(c, "doc5")

@@ -1,0 +1,163 @@
+"""Tests for the generic (non-XML) reachability index — the paper's
+future-work application of transitive-closure compression."""
+
+import random
+
+import pytest
+
+from repro.graph import DiGraph
+from repro.graph.reachability import ReachabilityIndex
+
+
+@pytest.fixture
+def call_graph():
+    return DiGraph(
+        [
+            ("main", "parse"),
+            ("parse", "lex"),
+            ("main", "emit"),
+            ("emit", "write"),
+            ("parse", "error"),
+            ("emit", "error"),
+        ]
+    )
+
+
+def test_reachable(call_graph):
+    index = ReachabilityIndex(call_graph)
+    assert index.reachable("main", "lex")
+    assert index.reachable("main", "error")
+    assert not index.reachable("lex", "main")
+    assert index.reachable("write", "write")
+    index.verify()
+
+
+def test_descendants_ancestors(call_graph):
+    index = ReachabilityIndex(call_graph)
+    assert index.descendants("parse") == {"parse", "lex", "error"}
+    assert index.ancestors("error") == {"error", "parse", "emit", "main"}
+
+
+def test_distance_mode(call_graph):
+    index = ReachabilityIndex(call_graph, distance=True)
+    assert index.distance("main", "lex") == 2
+    assert index.distance("main", "error") == 2
+    assert index.distance("lex", "main") is None
+    index.verify()
+
+
+def test_distance_requires_flag(call_graph):
+    index = ReachabilityIndex(call_graph)
+    with pytest.raises(TypeError):
+        index.distance("main", "lex")
+
+
+def test_add_edge_and_node(call_graph):
+    index = ReachabilityIndex(call_graph)
+    index.add_node("optimize")
+    assert not index.reachable("emit", "optimize")
+    index.add_edge("emit", "optimize")
+    assert index.reachable("main", "optimize")
+    index.verify()
+
+
+def test_add_edge_distance(call_graph):
+    index = ReachabilityIndex(call_graph, distance=True)
+    index.add_edge("main", "error")  # shortcut
+    assert index.distance("main", "error") == 1
+    index.verify()
+
+
+def test_remove_edge_absorbed(call_graph):
+    index = ReachabilityIndex(call_graph)
+    # error still reachable from main via emit after dropping parse->error
+    index.remove_edge("parse", "error")
+    assert index.reachable("main", "error")
+    index.verify()
+
+
+def test_remove_edge_disconnecting(call_graph):
+    index = ReachabilityIndex(call_graph)
+    index.remove_edge("parse", "lex")
+    assert not index.reachable("main", "lex")
+    index.verify()
+
+
+def test_remove_edge_distance(call_graph):
+    index = ReachabilityIndex(call_graph, distance=True)
+    index.add_edge("main", "error")
+    index.remove_edge("main", "error")
+    assert index.distance("main", "error") == 2
+    index.verify()
+
+
+def test_remove_node(call_graph):
+    index = ReachabilityIndex(call_graph)
+    index.remove_node("parse")
+    assert not index.reachable("main", "lex")
+    assert index.reachable("main", "error")  # via emit
+    index.verify()
+
+
+def test_cyclic_graph():
+    g = DiGraph([(1, 2), (2, 3), (3, 1), (3, 4)])
+    index = ReachabilityIndex(g)
+    assert index.reachable(1, 1)
+    assert index.reachable(2, 1)
+    index.verify()
+    index.add_edge(4, 5)
+    index.verify()
+
+
+def test_size_compresses_dense_closure():
+    # layered DAG with quadratic closure
+    k = 8
+    edges = [(f"a{i}", "mid") for i in range(k)] + [
+        ("mid", f"b{i}") for i in range(k)
+    ]
+    index = ReachabilityIndex(DiGraph(edges))
+    assert index.size <= 3 * k  # vs k*k closure connections
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_maintenance_session(seed):
+    rng = random.Random(seed)
+    g = DiGraph()
+    for v in range(12):
+        g.add_node(v)
+    index = ReachabilityIndex(g)
+    edges = set()
+    for step in range(25):
+        u, v = rng.randrange(12), rng.randrange(12)
+        if u == v:
+            continue
+        if (u, v) in edges and rng.random() < 0.5:
+            index.remove_edge(u, v)
+            edges.discard((u, v))
+        elif (u, v) not in edges:
+            index.add_edge(u, v)
+            edges.add((u, v))
+        if step % 8 == 0:
+            index.verify()
+    index.verify()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_maintenance_session_distance(seed):
+    rng = random.Random(100 + seed)
+    g = DiGraph()
+    for v in range(8):
+        g.add_node(v)
+    index = ReachabilityIndex(g, distance=True)
+    edges = set()
+    for step in range(15):
+        u, v = rng.randrange(8), rng.randrange(8)
+        if u == v:
+            continue
+        if (u, v) in edges:
+            index.remove_edge(u, v)
+            edges.discard((u, v))
+        else:
+            index.add_edge(u, v)
+            edges.add((u, v))
+        index.verify()

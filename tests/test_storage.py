@@ -1,0 +1,188 @@
+"""Tests for the SQLite-backed store (Section 3.4's database layout)."""
+
+import os
+
+import pytest
+
+from repro.core import HopiIndex
+from repro.core.cover import DistanceTwoHopCover, TwoHopCover
+from repro.storage import (
+    MemoryCoverStore,
+    SQLiteCoverStore,
+    load_index,
+    persist_index,
+)
+from repro.xmlmodel import dblp_like, random_collection
+
+
+@pytest.fixture
+def chain_cover():
+    cover = TwoHopCover([1, 2, 3])
+    cover.add_lout(1, 2)
+    cover.add_lin(3, 2)
+    return cover
+
+
+@pytest.fixture
+def store(chain_cover):
+    s = SQLiteCoverStore(":memory:")
+    s.save_cover(chain_cover)
+    return s
+
+
+def test_connection_sql(store):
+    assert store.connected(1, 3)  # via the LIN/LOUT join
+    assert store.connected(1, 2)  # via the self-out query
+    assert store.connected(2, 3)  # via the self-in query
+    assert store.connected(1, 1)  # reflexive
+    assert not store.connected(3, 1)
+    assert not store.connected(2, 1)
+
+
+def test_connected_unknown_node(store):
+    assert not store.connected(99, 99)
+    assert not store.connected(1, 99)
+
+
+def test_descendants_ancestors_sql(store):
+    assert store.descendants(1) == {1, 2, 3}
+    assert store.descendants(2) == {2, 3}
+    assert store.ancestors(3) == {1, 2, 3}
+    assert store.ancestors(1) == {1}
+
+
+def test_cover_size_and_roundtrip(store, chain_cover):
+    assert store.cover_size() == 2
+    loaded = store.load_cover()
+    assert isinstance(loaded, TwoHopCover)
+    assert loaded.lin == chain_cover.lin
+    assert loaded.lout == chain_cover.lout
+    assert loaded.nodes == chain_cover.nodes
+
+
+def test_distance_requires_distance_cover(store):
+    with pytest.raises(TypeError):
+        store.distance(1, 3)
+
+
+def test_distance_store_roundtrip():
+    cover = DistanceTwoHopCover([1, 2, 3, 4])
+    cover.add_lout(1, 2, 1)
+    cover.add_lin(3, 2, 1)
+    cover.add_lin(4, 2, 3)
+    s = SQLiteCoverStore(":memory:")
+    s.save_cover(cover)
+    assert s.distance(1, 3) == 2  # MIN(LOUT.DIST + LIN.DIST)
+    assert s.distance(1, 2) == 1  # self-out variant
+    assert s.distance(2, 3) == 1  # self-in variant
+    assert s.distance(1, 4) == 4
+    assert s.distance(3, 1) is None
+    assert s.distance(2, 2) == 0
+    loaded = s.load_cover()
+    assert isinstance(loaded, DistanceTwoHopCover)
+    assert loaded.lout == cover.lout
+    assert loaded.lin == cover.lin
+
+
+def test_save_cover_overwrites(store):
+    new = TwoHopCover([7, 8])
+    new.add_lout(7, 8)
+    store.save_cover(new)
+    assert store.cover_size() == 1
+    assert store.connected(7, 8)
+    assert not store.connected(1, 3)
+
+
+def test_collection_roundtrip():
+    original = dblp_like(10, seed=4)
+    s = SQLiteCoverStore(":memory:")
+    s.save_collection(original)
+    loaded = s.load_collection()
+    assert loaded.num_documents == original.num_documents
+    assert loaded.num_elements == original.num_elements
+    assert loaded.inter_links == original.inter_links
+    for eid, element in original.elements.items():
+        assert loaded.elements[eid].tag == element.tag
+        assert loaded.elements[eid].doc == element.doc
+        assert loaded.elements[eid].parent == element.parent
+    # tree structure preserved
+    for doc_id, doc in original.documents.items():
+        assert loaded.documents[doc_id].children == doc.children
+
+
+def test_collection_roundtrip_intra_links():
+    original = random_collection(
+        n_docs=3, intra_link_probability=0.8, inter_links=3, seed=6
+    )
+    s = SQLiteCoverStore(":memory:")
+    s.save_collection(original)
+    loaded = s.load_collection()
+    for doc_id in original.documents:
+        assert (
+            loaded.documents[doc_id].intra_links
+            == original.documents[doc_id].intra_links
+        )
+
+
+def test_persist_and_load_index(tmp_path):
+    collection = dblp_like(12, seed=8)
+    index = HopiIndex.build(collection, strategy="recursive", partitioner="closure")
+    path = os.path.join(tmp_path, "hopi.db")
+    store = persist_index(index, path)
+    store.close()
+    loaded = load_index(path)
+    loaded.verify()
+    (u, v) = sorted(collection.inter_links)[0]
+    assert loaded.connected(u, v) == index.connected(u, v)
+
+
+def test_sql_store_agrees_with_index_everywhere():
+    collection = random_collection(n_docs=4, inter_links=5, seed=17)
+    index = HopiIndex.build(collection, strategy="unpartitioned")
+    store = SQLiteCoverStore(":memory:")
+    store.save_collection(collection)
+    store.save_cover(index.cover)
+    nodes = sorted(collection.elements)
+    for u in nodes:
+        for v in nodes:
+            assert store.connected(u, v) == index.connected(u, v), (u, v)
+    for u in nodes:
+        assert store.descendants(u) == index.descendants(u)
+        assert store.ancestors(u) == index.ancestors(u)
+
+
+def test_sql_distance_store_agrees_with_index():
+    collection = random_collection(n_docs=3, inter_links=4, seed=23)
+    index = HopiIndex.build(collection, strategy="unpartitioned", distance=True)
+    store = SQLiteCoverStore(":memory:")
+    store.save_collection(collection)
+    store.save_cover(index.cover)
+    nodes = sorted(collection.elements)
+    for u in nodes:
+        for v in nodes:
+            assert store.distance(u, v) == index.distance(u, v), (u, v)
+
+
+def test_memory_store_parity(chain_cover):
+    mem = MemoryCoverStore(chain_cover)
+    sql = SQLiteCoverStore(":memory:")
+    sql.save_cover(chain_cover)
+    for u in (1, 2, 3):
+        for v in (1, 2, 3):
+            assert mem.connected(u, v) == sql.connected(u, v)
+        assert mem.descendants(u) == sql.descendants(u)
+        assert mem.ancestors(u) == sql.ancestors(u)
+    assert mem.cover_size() == sql.cover_size()
+    with pytest.raises(TypeError):
+        mem.distance(1, 3)
+
+
+def test_context_manager(tmp_path):
+    path = os.path.join(tmp_path, "ctx.db")
+    cover = TwoHopCover([1, 2])
+    cover.add_lout(1, 2)
+    with SQLiteCoverStore(path) as s:
+        s.save_cover(cover)
+    # file persisted; reopen works
+    with SQLiteCoverStore(path) as s:
+        assert s.connected(1, 2)

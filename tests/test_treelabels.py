@@ -1,0 +1,122 @@
+"""Tests for the pre/postorder tree labeling (Section 4.3's device)."""
+
+import random
+
+import pytest
+
+from repro.xmlmodel import Collection, dblp_like, inex_like
+from repro.xmlmodel.treelabels import TreeLabeling
+
+
+@pytest.fixture
+def small_tree():
+    c = Collection()
+    root = c.new_document("d", "r")
+    a = c.add_child(root.eid, "a")
+    b = c.add_child(root.eid, "b")
+    aa = c.add_child(a.eid, "aa")
+    ab = c.add_child(a.eid, "ab")
+    leaf = c.add_child(aa.eid, "leaf")
+    ids = dict(root=root.eid, a=a.eid, b=b.eid, aa=aa.eid, ab=ab.eid, leaf=leaf.eid)
+    return c, ids
+
+
+def test_ancestor_reflexive_and_transitive(small_tree):
+    c, ids = small_tree
+    tl = TreeLabeling(c)
+    assert tl.is_tree_ancestor(ids["root"], ids["leaf"])
+    assert tl.is_tree_ancestor(ids["a"], ids["leaf"])
+    assert tl.is_tree_ancestor(ids["aa"], ids["leaf"])
+    assert tl.is_tree_ancestor(ids["leaf"], ids["leaf"])  # reflexive
+    assert not tl.is_tree_ancestor(ids["b"], ids["leaf"])
+    assert not tl.is_tree_ancestor(ids["leaf"], ids["root"])
+    assert not tl.is_tree_ancestor(ids["ab"], ids["aa"])  # siblings
+
+
+def test_subtree_sizes(small_tree):
+    c, ids = small_tree
+    tl = TreeLabeling(c)
+    assert tl.subtree_size(ids["root"]) == 6
+    assert tl.subtree_size(ids["a"]) == 4
+    assert tl.subtree_size(ids["b"]) == 1
+    assert tl.subtree_size(ids["aa"]) == 2
+
+
+def test_tree_counts_match_document_tree_counts(small_tree):
+    c, ids = small_tree
+    tl = TreeLabeling(c)
+    doc_counts = c.documents["d"].tree_counts()
+    for e in c.documents["d"].elements:
+        assert tl.tree_counts(e) == doc_counts[e]
+
+
+def test_tree_counts_match_on_generated_collections():
+    for collection in (dblp_like(10, seed=3), inex_like(3, seed=4)):
+        tl = TreeLabeling(collection)
+        for doc in collection.documents.values():
+            counts = doc.tree_counts()
+            for e in doc.elements:
+                assert tl.tree_counts(e) == counts[e]
+
+
+def test_tree_distance(small_tree):
+    c, ids = small_tree
+    tl = TreeLabeling(c)
+    assert tl.tree_distance(ids["root"], ids["leaf"]) == 3
+    assert tl.tree_distance(ids["a"], ids["aa"]) == 1
+    assert tl.tree_distance(ids["a"], ids["a"]) == 0
+    assert tl.tree_distance(ids["b"], ids["leaf"]) is None
+
+
+def test_cross_document_never_ancestor():
+    c = Collection()
+    r1 = c.new_document("a", "r")
+    r2 = c.new_document("b", "r")
+    x = c.add_child(r2.eid, "x")
+    tl = TreeLabeling(c)
+    assert not tl.is_tree_ancestor(r1.eid, x.eid)
+
+
+def test_ignores_links(small_tree):
+    c, ids = small_tree
+    c.add_link(ids["b"], ids["a"])  # intra link b -> a
+    tl = TreeLabeling(c)
+    assert not tl.is_tree_ancestor(ids["b"], ids["aa"])
+
+
+def test_relabel_after_insert(small_tree):
+    c, ids = small_tree
+    tl = TreeLabeling(c)
+    new = c.add_child(ids["b"], "new")
+    tl.relabel_document("d")
+    assert tl.is_tree_ancestor(ids["b"], new.eid)
+    assert tl.subtree_size(ids["root"]) == 7
+    assert tl.subtree_size(ids["b"]) == 2
+
+
+def test_forget_document(small_tree):
+    c, ids = small_tree
+    tl = TreeLabeling(c)
+    removed = c.remove_document("d")
+    tl.forget_document(removed)
+    assert not tl.pre and not tl.post and not tl.depth
+
+
+def test_oracle_against_parent_chain():
+    rng = random.Random(9)
+    c = dblp_like(5, seed=9)
+    tl = TreeLabeling(c)
+
+    def chain_ancestor(u, v):
+        while v is not None:
+            if v == u:
+                return True
+            v = c.elements[v].parent
+        return False
+
+    elements = sorted(c.elements)
+    for _ in range(500):
+        u, v = rng.choice(elements), rng.choice(elements)
+        same_doc = c.doc(u) == c.doc(v)
+        expected = same_doc and chain_ancestor(u, v)
+        assert tl.is_tree_ancestor(u, v) == expected
