@@ -69,6 +69,30 @@ def test_distance_query_correct_sample(benchmark, dblp):
     assert answers == expected
 
 
+def test_distance_query_backends(benchmark, dblp):
+    """Array vs set backend on point distance queries (same cover)."""
+    sets_index = HopiIndex.build(
+        dblp, strategy="recursive", partitioner="node_weight",
+        partition_limit=max(dblp.num_elements // 16, 1), distance=True,
+    )
+    arrays_index = sets_index.with_backend("arrays")
+    rng = random.Random(7)
+    nodes = sorted(dblp.elements)
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(2000)]
+
+    import time
+
+    t0 = time.perf_counter()
+    expected = [sets_index.distance(u, v) for u, v in pairs]
+    sets_seconds = time.perf_counter() - t0
+
+    answers = benchmark(
+        lambda: [arrays_index.distance(u, v) for u, v in pairs]
+    )
+    benchmark.extra_info.update(sets_seconds=round(sets_seconds, 4))
+    assert answers == expected
+
+
 def test_density_estimate_upper_bounds(benchmark):
     """E13: across random graphs, the 98%-CI sampled estimate stays at or
     above the true center-graph edge count (so the priority queue never

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from repro.bench.harness import (
     PAPER_TABLE2,
+    emit_bench_query_entry,
+    run_backend_query_benchmark,
     run_center_preselection_ablation,
     run_distance_overhead,
     run_edge_weight_ablation,
@@ -136,6 +138,25 @@ def main() -> None:
         [(int(q["queries"]), round(q["hopi_qps"]), round(q["bfs_qps"]),
           round(q["speedup_vs_bfs"], 1))],
         title="Query performance (E16; [26] covers this in depth)",
+    )
+
+    # ---- label backends on the descendant-step workload ------------------
+    rows = run_backend_query_benchmark(dblp)
+    entry = emit_bench_query_entry(rows)
+    print_table(
+        ["backend", "queries", "cands", "p50 ms", "p95 ms", "total s", "|L|"],
+        [
+            (
+                r.backend, r.queries, r.candidates, round(r.p50_ms, 3),
+                round(r.p95_ms, 3), round(r.total_seconds, 3), r.cover_entries,
+            )
+            for r in rows.values()
+        ],
+        title=(
+            "Label backends, descendant-step workload "
+            f"(arrays vs sets: {entry.get('speedup_arrays_vs_sets', '-')}x; "
+            "appended to BENCH_query.json)"
+        ),
     )
 
 

@@ -12,15 +12,18 @@ labels correspond to and report the concrete limits used.
 
 from __future__ import annotations
 
+import json
+import math
 import random
 import statistics
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.workloads import bench_dblp, bench_inex
 from repro.core.cover_builder import build_cover
-from repro.core.hopi import HopiIndex
+from repro.core.hopi import HopiIndex, convert_cover
 from repro.core.maintenance import (
     delete_document,
     document_separates,
@@ -393,6 +396,163 @@ def run_edge_weight_ablation(collection: Collection) -> List[BuildRow]:
 # ---------------------------------------------------------------------------
 # query performance (covered by [26]; reproduced as E16)
 # ---------------------------------------------------------------------------
+
+
+# ---------------------------------------------------------------------------
+# label-backend comparison (descendant-step workload) + BENCH trajectory
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BackendQueryRow:
+    """Per-backend measurements of the descendant-step workload."""
+
+    backend: str
+    queries: int
+    candidates: int
+    p50_ms: float
+    p95_ms: float
+    total_seconds: float
+    cover_entries: int
+    stored_integers: int
+
+
+def descendant_step_workload(
+    collection: Collection, *, n_sources: int = 100, seed: int = 11
+) -> Tuple[List[int], List[int]]:
+    """The canonical descendant-step workload: ``(sources, candidates)``.
+
+    Sources are randomly sampled document roots; candidates are all
+    elements of the collection's most frequent tag — exactly the batch
+    shape the query engine produces for every ``//a//b`` step. Shared
+    by the harness and the pytest benchmarks so both always measure the
+    same workload.
+    """
+    tag_index = collection.tags()
+    _, candidates = max(tag_index.items(), key=lambda kv: (len(kv[1]), kv[0]))
+    rng = random.Random(seed)
+    roots = sorted(d.root for d in collection.documents.values())
+    sources = [rng.choice(roots) for _ in range(n_sources)]
+    return sources, sorted(candidates)
+
+
+def run_backend_query_benchmark(
+    collection: Collection,
+    *,
+    backends: Sequence[str] = ("sets", "arrays"),
+    n_sources: int = 100,
+    seed: int = 11,
+) -> Dict[str, BackendQueryRow]:
+    """Compare label backends on the descendant-step workload.
+
+    The workload mirrors what the query engine does for every
+    ``//a//b`` step: one source element probed against the full
+    candidate list of the next element test (the most frequent tag in
+    the collection) via ``connected_many``. The covers are *identical*
+    across backends (one build, converted), so the measurement isolates
+    the representation.
+    """
+    base = HopiIndex.build(
+        collection, strategy="recursive", partitioner="node_weight",
+        partition_limit=max(collection.num_elements // 16, 1),
+    )
+    sources, candidates = descendant_step_workload(
+        collection, n_sources=n_sources, seed=seed
+    )
+
+    results: Dict[str, BackendQueryRow] = {}
+    answers: Dict[str, List[List[bool]]] = {}
+    for backend in backends:
+        cover = convert_cover(base.cover, backend)
+        index = HopiIndex(collection, cover)
+        latencies: List[float] = []
+        got: List[List[bool]] = []
+        t_total = time.perf_counter()
+        for s in sources:
+            t0 = time.perf_counter()
+            got.append(index.connected_many(s, candidates))
+            latencies.append(time.perf_counter() - t0)
+        total = time.perf_counter() - t_total
+        latencies.sort()
+        n = len(latencies)
+        p50 = latencies[n // 2]
+        p95 = latencies[min(n - 1, max(0, math.ceil(n * 0.95) - 1))]  # nearest rank
+        results[backend] = BackendQueryRow(
+            backend=backend,
+            queries=len(sources),
+            candidates=len(candidates),
+            p50_ms=p50 * 1e3,
+            p95_ms=p95 * 1e3,
+            total_seconds=total,
+            cover_entries=cover.size,
+            stored_integers=cover.stored_integers(),
+        )
+        answers[backend] = got
+    # all backends must agree bit-for-bit — a perf win that changes
+    # answers is a bug, not a win (hard error: this guards the
+    # BENCH_query.json acceptance record even under python -O)
+    first = answers[backends[0]]
+    for backend in backends[1:]:
+        if answers[backend] != first:
+            raise RuntimeError(
+                f"backend {backend!r} answers diverge from {backends[0]!r}"
+            )
+    return results
+
+
+def default_trajectory_path() -> Path:
+    """``BENCH_query.json`` at the repo root when running from a
+    checkout (anchored by ROADMAP.md), else the current directory —
+    so ``python -m repro.bench`` appends to one history regardless of
+    where it is launched from."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "ROADMAP.md").exists():
+        return candidate / "BENCH_query.json"
+    return Path("BENCH_query.json")
+
+
+def emit_bench_query_entry(
+    rows: Dict[str, BackendQueryRow],
+    *,
+    path: Union[str, Path, None] = None,
+    collection_name: str = "DBLP",
+    workload: str = "descendant-step",
+) -> Dict[str, object]:
+    """Append one trajectory entry to ``BENCH_query.json``.
+
+    The file holds a JSON list; each run appends, so future PRs can
+    diff latency and index size against history.
+    """
+    if path is None:
+        path = default_trajectory_path()
+    entry: Dict[str, object] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "collection": collection_name,
+        "workload": workload,
+        "backends": {name: asdict(row) for name, row in rows.items()},
+    }
+    if "sets" in rows and "arrays" in rows:
+        entry["speedup_arrays_vs_sets"] = round(
+            rows["sets"].total_seconds / max(rows["arrays"].total_seconds, 1e-9), 2
+        )
+    path = Path(path)
+    history: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            history = loaded if isinstance(loaded, list) else [loaded]
+        except ValueError:
+            # never silently drop the trajectory: preserve the corrupt
+            # file next to the fresh one and start a new history
+            backup = path.with_suffix(path.suffix + ".corrupt")
+            backup.write_bytes(path.read_bytes())
+            print(
+                f"warning: {path} is not valid JSON; saved as {backup} "
+                "and started a fresh trajectory"
+            )
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return entry
 
 
 def run_query_benchmark(

@@ -65,11 +65,13 @@ def cmd_build(args: argparse.Namespace) -> int:
         partition_limit=args.partition_limit,
         edge_weight=args.edge_weight,
         distance=args.distance,
+        backend=args.backend,
     )
     stats = index.stats
     print(
         f"built in {stats.seconds_total:.2f}s "
-        f"({stats.num_partitions} partitions, |L| = {stats.cover_size})"
+        f"({stats.num_partitions} partitions, |L| = {stats.cover_size}, "
+        f"backend = {stats.backend})"
     )
     persist_index(index, args.output).close()
     print(f"written to {args.output}")
@@ -94,7 +96,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_index(args.index, backend=args.backend)
     engine = QueryEngine(index, max_results=args.limit)
     results = engine.evaluate(args.path)
     collection = index.collection
@@ -179,6 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["links", "AxD", "A+D"])
     p.add_argument("--distance", action="store_true",
                    help="build a distance-aware cover (Section 5)")
+    p.add_argument("--backend", default="sets", choices=["sets", "arrays"],
+                   help="label backend: dict-of-sets, or interned dense "
+                        "ids with sorted arrays (identical answers)")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("generate", help="write a synthetic XML collection")
@@ -192,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("index")
     p.add_argument("path", help='e.g. "//article//author" or "//~book//author"')
     p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--backend", default=None, choices=["sets", "arrays"],
+                   help="label backend to load the cover into; 'arrays' "
+                        "uses the batched descendant-step hot path "
+                        "(default: the backend the index was built with)")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("connected", help="reachability test between elements")

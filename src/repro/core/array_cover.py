@@ -1,0 +1,951 @@
+"""Array-backed 2-hop covers over dense interned node ids.
+
+The set-backed covers in :mod:`repro.core.cover` store every label as a
+``Dict[Node, Set[Node]]`` over arbitrary hashables — correct, but each
+entry costs a boxed object plus hash-table overhead, and batched queries
+cannot exploit any structure. The classes here keep the exact same
+label *semantics* behind the representation used by production 2-hop
+systems:
+
+* every node label is interned to a dense ``int32`` id
+  (:class:`repro.core.interner.NodeInterner`);
+* ``Lin``/``Lout`` are **sorted** ``array('i')`` center-id arrays
+  (distance covers carry an aligned ``array('i')`` of distances);
+* ``connected()``/``distance()`` intersect the two sorted arrays with a
+  **galloping merge** (iterate the smaller side, binary-search the
+  larger with a moving lower bound);
+* the **backward indexes** (``center -> nodes carrying it``) are
+  maintained incrementally as sorted id arrays, mirroring Section 3.4's
+  backward database indexes;
+* :meth:`connected_many` answers one-source/many-candidates batches —
+  the descendant-step hot path of the query engine — by materialising
+  the source's descendant id set once and testing candidates with O(1)
+  lookups, which only the dense-id representation makes cheap;
+* :meth:`to_csr`/:meth:`from_csr` convert labels to/from a CSR layout
+  (``indptr`` + flat data arrays) so snapshots round-trip through
+  ``array.tobytes`` without per-row Python overhead.
+
+Both classes implement :class:`repro.core.cover.CoverProtocol` and are
+drop-in replacements for the set-backed covers everywhere in the build,
+join, maintenance, query and storage layers.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.interner import NodeInterner
+
+Node = Hashable
+
+#: typecodes: int32 label/center data, int64 CSR offsets
+ID_TYPECODE = "i"
+OFFSET_TYPECODE = "q"
+
+
+# ---------------------------------------------------------------------------
+# sorted-array primitives
+# ---------------------------------------------------------------------------
+
+
+def sorted_insert(arr: array, x: int) -> bool:
+    """Insert ``x`` into a sorted array unless present; True if inserted."""
+    i = bisect_left(arr, x)
+    if i < len(arr) and arr[i] == x:
+        return False
+    arr.insert(i, x)
+    return True
+
+
+def sorted_remove(arr: array, x: int) -> bool:
+    """Remove ``x`` from a sorted array if present; True if removed."""
+    i = bisect_left(arr, x)
+    if i < len(arr) and arr[i] == x:
+        del arr[i]
+        return True
+    return False
+
+
+def sorted_contains(arr: Sequence[int], x: int) -> bool:
+    i = bisect_left(arr, x)
+    return i < len(arr) and arr[i] == x
+
+
+def galloping_intersects(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Do two sorted arrays share an element?
+
+    Iterates the smaller array and binary-searches the larger with a
+    monotonically advancing lower bound — O(|small| * log |large|) worst
+    case, sub-linear in practice on skewed sizes.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    if not a or a[0] > b[-1] or b[0] > a[-1]:
+        return False
+    lo, nb = 0, len(b)
+    for x in a:
+        lo = bisect_left(b, x, lo)
+        if lo == nb:
+            return False
+        if b[lo] == x:
+            return True
+    return False
+
+
+def galloping_min_plus(
+    c1: Sequence[int],
+    d1: Sequence[int],
+    c2: Sequence[int],
+    d2: Sequence[int],
+) -> Optional[int]:
+    """``min(d1[i] + d2[j])`` over common centers of two sorted label
+    arrays (the paper's ``MIN(LOUT.DIST + LIN.DIST)``), or None."""
+    if len(c1) > len(c2):
+        c1, d1, c2, d2 = c2, d2, c1, d1
+    if not c1 or c1[0] > c2[-1] or c2[0] > c1[-1]:
+        return None
+    best: Optional[int] = None
+    lo, n2 = 0, len(c2)
+    for i, x in enumerate(c1):
+        lo = bisect_left(c2, x, lo)
+        if lo == n2:
+            break
+        if c2[lo] == x:
+            total = d1[i] + d2[lo]
+            if best is None or total < best:
+                best = total
+            lo += 1
+    return best
+
+
+class _NodeSetView:
+    """Read-only set-like view of a cover's active node universe,
+    externalised through the interner."""
+
+    __slots__ = ("_cover",)
+
+    def __init__(self, cover) -> None:
+        self._cover = cover
+
+    def __contains__(self, label: Node) -> bool:
+        iid = self._cover.interner.get(label)
+        return iid is not None and iid in self._cover._nodes
+
+    def __len__(self) -> int:
+        return len(self._cover._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        label = self._cover.interner.label
+        return (label(i) for i in self._cover._nodes)
+
+    def __eq__(self, other) -> bool:
+        try:
+            return set(self) == set(other)
+        except TypeError:  # pragma: no cover - defensive
+            return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"_NodeSetView({set(self)!r})"
+
+
+class _ArrayCoverBase:
+    """State and machinery shared by both array-backed covers.
+
+    Label tables are lists indexed by internal id (``None`` = empty) so
+    the dense ids double as direct offsets — no hashing on hot paths.
+    """
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self.interner = NodeInterner()
+        self._nodes: Set[int] = set()
+        self._lin: List[Optional[array]] = []
+        self._lout: List[Optional[array]] = []
+        self._inv_lin: List[Optional[array]] = []
+        self._inv_lout: List[Optional[array]] = []
+        self.add_nodes(nodes)
+
+    # -- id plumbing ----------------------------------------------------
+    def _tables(self) -> Tuple[List[Optional[array]], ...]:
+        """Every per-node table that must grow with the interner."""
+        return (self._lin, self._lout, self._inv_lin, self._inv_lout)
+
+    def _intern(self, label: Node) -> int:
+        iid = self.interner.intern(label)
+        if iid >= len(self._lin):
+            grow = iid + 1 - len(self._lin)
+            for table in self._tables():
+                table.extend([None] * grow)
+        return iid
+
+    def _row(self, table: List[Optional[array]], iid: int) -> Optional[array]:
+        return table[iid] if iid < len(table) else None
+
+    # -- universe -------------------------------------------------------
+    @property
+    def nodes(self) -> _NodeSetView:
+        return _NodeSetView(self)
+
+    def add_node(self, v: Node) -> None:
+        self._nodes.add(self._intern(v))
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        for v in nodes:
+            self._nodes.add(self._intern(v))
+
+    # -- backward indexes -----------------------------------------------
+    def _inv_add(self, inv: List[Optional[array]], center: int, node: int) -> None:
+        row = inv[center]
+        if row is None:
+            inv[center] = array(ID_TYPECODE, (node,))
+        else:
+            sorted_insert(row, node)
+
+    def _inv_discard(self, inv: List[Optional[array]], center: int, node: int) -> None:
+        row = inv[center]
+        if row is not None:
+            sorted_remove(row, node)
+
+    def _externalize(self, ids: Iterable[int]) -> Set[Node]:
+        label = self.interner.label
+        return {label(i) for i in ids}
+
+    def nodes_with_lin_center(self, center: Node) -> Set[Node]:
+        """Backward-index lookup: nodes whose ``Lin`` holds ``center``."""
+        ci = self.interner.get(center)
+        row = self._row(self._inv_lin, ci) if ci is not None else None
+        return self._externalize(row) if row else set()
+
+    def nodes_with_lout_center(self, center: Node) -> Set[Node]:
+        """Backward-index lookup: nodes whose ``Lout`` holds ``center``."""
+        ci = self.interner.get(center)
+        row = self._row(self._inv_lout, ci) if ci is not None else None
+        return self._externalize(row) if row else set()
+
+    # -- batched / enumeration queries ----------------------------------
+    def _descendant_ids(self, ui: int) -> Set[int]:
+        """Internal ids of all descendants of ``ui`` (including it)."""
+        result: Set[int] = {ui}
+        row = self._row(self._inv_lin, ui)
+        if row:
+            result.update(row)
+        lout = self._row(self._lout, ui)
+        if lout:
+            result.update(lout)
+            inv = self._inv_lin
+            for c in lout:
+                row = inv[c]
+                if row:
+                    result.update(row)
+        return result
+
+    def _ancestor_ids(self, vi: int) -> Set[int]:
+        result: Set[int] = {vi}
+        row = self._row(self._inv_lout, vi)
+        if row:
+            result.update(row)
+        lin = self._row(self._lin, vi)
+        if lin:
+            result.update(lin)
+            inv = self._inv_lout
+            for c in lin:
+                row = inv[c]
+                if row:
+                    result.update(row)
+        return result
+
+    def descendants(self, u: Node) -> Set[Node]:
+        """All ``d`` with ``u ->* d`` (including ``u``), via the backward
+        index."""
+        ui = self.interner.get(u)
+        if ui is None or ui not in self._nodes:
+            return set()
+        return self._externalize(self._descendant_ids(ui))
+
+    def ancestors(self, v: Node) -> Set[Node]:
+        """All ``a`` with ``a ->* v`` (including ``v``)."""
+        vi = self.interner.get(v)
+        if vi is None or vi not in self._nodes:
+            return set()
+        return self._externalize(self._ancestor_ids(vi))
+
+    def connected_many(self, u: Node, candidates: Sequence[Node]) -> List[bool]:
+        """Batched ``[connected(u, c) for c in candidates]``.
+
+        One descendant-set materialisation over internal ids, then O(1)
+        membership per candidate — the dense-id hot path behind the
+        query engine's descendant steps.
+        """
+        ui = self.interner.get(u)
+        if ui is None or ui not in self._nodes:
+            return [False] * len(candidates)
+        desc = self._descendant_ids(ui)
+        # labels may reference centers outside the active universe (the
+        # set backend's descendants() keeps them too), but connected()
+        # rejects them — drop them so the batch matches it exactly
+        desc.intersection_update(self._nodes)
+        get = self.interner.get
+        return [get(c) in desc for c in candidates]
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``|L| = Σ |Lin(v)| + |Lout(v)|`` — the paper's cover size."""
+        return sum(len(a) for a in self._lin if a) + sum(
+            len(a) for a in self._lout if a
+        )
+
+    # -- CSR conversion --------------------------------------------------
+    def _pack_table(self, table: List[Optional[array]]) -> Tuple[array, array]:
+        """Flatten a label table into ``(indptr, data)`` CSR arrays."""
+        n = len(self.interner)
+        indptr = array(OFFSET_TYPECODE, (0,))
+        data = array(ID_TYPECODE)
+        for iid in range(n):
+            row = table[iid] if iid < len(table) else None
+            if row:
+                data.extend(row)
+            indptr.append(len(data))
+        return indptr, data
+
+    @staticmethod
+    def _unpack_table(indptr: array, data: array) -> List[Optional[array]]:
+        table: List[Optional[array]] = []
+        for iid in range(len(indptr) - 1):
+            lo, hi = indptr[iid], indptr[iid + 1]
+            table.append(data[lo:hi] if hi > lo else None)
+        return table
+
+
+class ArrayTwoHopCover(_ArrayCoverBase):
+    """Array-backed reachability cover (same semantics as
+    :class:`repro.core.cover.TwoHopCover`)."""
+
+    is_distance_aware = False
+
+    # ------------------------------------------------------------------
+    # label mutation
+    # ------------------------------------------------------------------
+    def add_lin(self, node: Node, center: Node) -> bool:
+        """Add ``center`` to ``Lin(node)`` (self-entries are dropped).
+
+        Returns True when the label actually changed.
+        """
+        if node == center:
+            return False
+        ni = self._intern(node)
+        ci = self._intern(center)
+        self._nodes.add(ni)
+        row = self._lin[ni]
+        if row is None:
+            self._lin[ni] = array(ID_TYPECODE, (ci,))
+        elif not sorted_insert(row, ci):
+            return False
+        self._inv_add(self._inv_lin, ci, ni)
+        return True
+
+    def add_lout(self, node: Node, center: Node) -> bool:
+        """Add ``center`` to ``Lout(node)`` (self-entries are dropped).
+
+        Returns True when the label actually changed.
+        """
+        if node == center:
+            return False
+        ni = self._intern(node)
+        ci = self._intern(center)
+        self._nodes.add(ni)
+        row = self._lout[ni]
+        if row is None:
+            self._lout[ni] = array(ID_TYPECODE, (ci,))
+        elif not sorted_insert(row, ci):
+            return False
+        self._inv_add(self._inv_lout, ci, ni)
+        return True
+
+    def discard_lin(self, node: Node, center: Node) -> None:
+        ni, ci = self.interner.get(node), self.interner.get(center)
+        if ni is None or ci is None:
+            return
+        row = self._row(self._lin, ni)
+        if row is not None and sorted_remove(row, ci):
+            self._inv_discard(self._inv_lin, ci, ni)
+
+    def discard_lout(self, node: Node, center: Node) -> None:
+        ni, ci = self.interner.get(node), self.interner.get(center)
+        if ni is None or ci is None:
+            return
+        row = self._row(self._lout, ni)
+        if row is not None and sorted_remove(row, ci):
+            self._inv_discard(self._inv_lout, ci, ni)
+
+    def _set_label(
+        self,
+        table: List[Optional[array]],
+        inv: List[Optional[array]],
+        node: Node,
+        centers: Iterable[Node],
+    ) -> None:
+        ni = self._intern(node)
+        old = table[ni]
+        if old:
+            for ci in old:
+                self._inv_discard(inv, ci, ni)
+        new_ids = sorted({self._intern(c) for c in centers if c != node})
+        table[ni] = array(ID_TYPECODE, new_ids) if new_ids else None
+        for ci in new_ids:
+            self._inv_add(inv, ci, ni)
+
+    def set_lin(self, node: Node, centers: Iterable[Node]) -> None:
+        """Replace ``Lin(node)`` wholesale (used by Theorems 2 and 3)."""
+        self._set_label(self._lin, self._inv_lin, node, centers)
+
+    def set_lout(self, node: Node, centers: Iterable[Node]) -> None:
+        """Replace ``Lout(node)`` wholesale (used by Theorems 2 and 3)."""
+        self._set_label(self._lout, self._inv_lout, node, centers)
+
+    def remove_nodes(self, removed: Set[Node]) -> None:
+        """Drop nodes from the universe, their labels, and every label
+        entry that uses them as a center (document deletion support)."""
+        removed_ids = []
+        for v in removed:
+            iid = self.interner.get(v)
+            if iid is not None:
+                removed_ids.append(iid)
+                self._nodes.discard(iid)
+        label = self.interner.label
+        for iid in removed_ids:
+            # _set_label nulls the table slot itself on an empty label
+            self.set_lin(label(iid), ())
+            self.set_lout(label(iid), ())
+        for iid in removed_ids:
+            inv_row = self._row(self._inv_lin, iid)
+            if inv_row:
+                for ni in list(inv_row):
+                    row = self._lin[ni]
+                    if row is not None:
+                        sorted_remove(row, iid)
+            inv_row = self._row(self._inv_lout, iid)
+            if inv_row:
+                for ni in list(inv_row):
+                    row = self._lout[ni]
+                    if row is not None:
+                        sorted_remove(row, iid)
+            self._inv_lin[iid] = None
+            self._inv_lout[iid] = None
+
+    def union(self, other) -> None:
+        """Component-wise union with any reachability cover."""
+        self.add_nodes(other.nodes)
+        for kind, node, center in other.entries():
+            if kind == "in":
+                self.add_lin(node, center)
+            else:
+                self.add_lout(node, center)
+
+    def copy(self) -> "ArrayTwoHopCover":
+        clone = ArrayTwoHopCover()
+        clone.interner = self.interner.copy()
+        clone._nodes = set(self._nodes)
+        clone._lin = [a[:] if a else None for a in self._lin]
+        clone._lout = [a[:] if a else None for a in self._lout]
+        clone._inv_lin = [a[:] if a else None for a in self._inv_lin]
+        clone._inv_lout = [a[:] if a else None for a in self._inv_lout]
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries (Section 3.4 semantics)
+    # ------------------------------------------------------------------
+    def lin_of(self, node: Node) -> Set[Node]:
+        ni = self.interner.get(node)
+        row = self._row(self._lin, ni) if ni is not None else None
+        return self._externalize(row) if row else set()
+
+    def lout_of(self, node: Node) -> Set[Node]:
+        ni = self.interner.get(node)
+        row = self._row(self._lout, ni) if ni is not None else None
+        return self._externalize(row) if row else set()
+
+    def connected(self, u: Node, v: Node) -> bool:
+        """``u ->* v``? Galloping-merge intersection of ``Lout(u)`` and
+        ``Lin(v)`` plus the implicit self-hop disjuncts."""
+        get = self.interner.get
+        ui, vi = get(u), get(v)
+        if ui is None or vi is None:
+            return False
+        nodes = self._nodes
+        if ui not in nodes or vi not in nodes:
+            return False
+        if ui == vi:
+            return True
+        lout = self._row(self._lout, ui)
+        if lout and sorted_contains(lout, vi):
+            return True
+        lin = self._row(self._lin, vi)
+        if lin and sorted_contains(lin, ui):
+            return True
+        if lout and lin:
+            return galloping_intersects(lout, lin)
+        return False
+
+    # ------------------------------------------------------------------
+    # statistics & persistence
+    # ------------------------------------------------------------------
+    def stored_integers(self, *, with_backward_index: bool = True) -> int:
+        """Database ints per Section 3.4: 2 per entry, doubled by the
+        backward index."""
+        per = 4 if with_backward_index else 2
+        return per * self.size
+
+    def entries(self) -> Iterator[Tuple[str, Node, Node]]:
+        """All label entries as ``(kind, node, center)``."""
+        label = self.interner.label
+        for ni, row in enumerate(self._lin):
+            if row:
+                node = label(ni)
+                for ci in row:
+                    yield ("in", node, label(ci))
+        for ni, row in enumerate(self._lout):
+            if row:
+                node = label(ni)
+                for ci in row:
+                    yield ("out", node, label(ci))
+
+    @classmethod
+    def from_cover(cls, cover) -> "ArrayTwoHopCover":
+        """Convert any reachability cover (protocol-level) to arrays."""
+        new = cls(cover.nodes)
+        lin_rows: Dict[int, List[int]] = {}
+        lout_rows: Dict[int, List[int]] = {}
+        intern = new._intern
+        for kind, node, center in cover.entries():
+            rows = lin_rows if kind == "in" else lout_rows
+            rows.setdefault(intern(node), []).append(intern(center))
+        inv_lin_rows: Dict[int, List[int]] = {}
+        inv_lout_rows: Dict[int, List[int]] = {}
+        for rows, table, inv_rows in (
+            (lin_rows, new._lin, inv_lin_rows),
+            (lout_rows, new._lout, inv_lout_rows),
+        ):
+            for ni, centers in rows.items():
+                uniq = sorted(set(centers))
+                table[ni] = array(ID_TYPECODE, uniq)
+                for ci in uniq:
+                    inv_rows.setdefault(ci, []).append(ni)
+        for inv_rows, inv in (
+            (inv_lin_rows, new._inv_lin),
+            (inv_lout_rows, new._inv_lout),
+        ):
+            for ci, ns in inv_rows.items():
+                inv[ci] = array(ID_TYPECODE, sorted(ns))
+        return new
+
+    def to_csr(self) -> Dict[str, object]:
+        """CSR snapshot payload (see :mod:`repro.storage.snapshot`)."""
+        lin_indptr, lin_data = self._pack_table(self._lin)
+        lout_indptr, lout_data = self._pack_table(self._lout)
+        inv_lin_indptr, inv_lin_data = self._pack_table(self._inv_lin)
+        inv_lout_indptr, inv_lout_data = self._pack_table(self._inv_lout)
+        return {
+            "distance": False,
+            "labels": self.interner.labels(),
+            "active": array(ID_TYPECODE, sorted(self._nodes)),
+            "lin": (lin_indptr, lin_data),
+            "lout": (lout_indptr, lout_data),
+            "inv_lin": (inv_lin_indptr, inv_lin_data),
+            "inv_lout": (inv_lout_indptr, inv_lout_data),
+        }
+
+    @classmethod
+    def from_csr(cls, payload: Mapping[str, object]) -> "ArrayTwoHopCover":
+        new = cls()
+        new.interner = NodeInterner(payload["labels"])
+        new._nodes = set(payload["active"])
+        new._lin = cls._unpack_table(*payload["lin"])
+        new._lout = cls._unpack_table(*payload["lout"])
+        new._inv_lin = cls._unpack_table(*payload["inv_lin"])
+        new._inv_lout = cls._unpack_table(*payload["inv_lout"])
+        return new
+
+    def verify_against(self, closure, nodes: Optional[Iterable[Node]] = None) -> None:
+        """Assert the cover represents exactly the closure's connections."""
+        universe = list(nodes) if nodes is not None else list(self.nodes)
+        for u in universe:
+            for v in universe:
+                expected = closure.contains(u, v)
+                actual = self.connected(u, v)
+                if expected != actual:
+                    raise AssertionError(
+                        f"cover mismatch for ({u!r}, {v!r}): "
+                        f"closure says {expected}, cover says {actual}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArrayTwoHopCover(nodes={len(self._nodes)}, size={self.size})"
+
+
+class ArrayDistanceCover(_ArrayCoverBase):
+    """Array-backed distance-aware cover (same semantics as
+    :class:`repro.core.cover.DistanceTwoHopCover`).
+
+    Each label is a pair of aligned arrays: sorted center ids plus their
+    distances, so the min-plus intersection runs as one galloping merge.
+    """
+
+    is_distance_aware = True
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self._lin_dist: List[Optional[array]] = []
+        self._lout_dist: List[Optional[array]] = []
+        super().__init__(nodes)
+
+    def _tables(self) -> Tuple[List[Optional[array]], ...]:
+        return super()._tables() + (self._lin_dist, self._lout_dist)
+
+    # ------------------------------------------------------------------
+    # label mutation
+    # ------------------------------------------------------------------
+    def _add(
+        self,
+        table: List[Optional[array]],
+        dists: List[Optional[array]],
+        inv: List[Optional[array]],
+        node: Node,
+        center: Node,
+        dist: int,
+    ) -> bool:
+        if node == center:
+            return False
+        ni = self._intern(node)
+        ci = self._intern(center)
+        self._nodes.add(ni)
+        centers = table[ni]
+        if centers is None:
+            table[ni] = array(ID_TYPECODE, (ci,))
+            dists[ni] = array(ID_TYPECODE, (dist,))
+            self._inv_add(inv, ci, ni)
+            return True
+        i = bisect_left(centers, ci)
+        if i < len(centers) and centers[i] == ci:
+            drow = dists[ni]
+            if dist < drow[i]:
+                drow[i] = dist
+                return True
+            return False
+        centers.insert(i, ci)
+        dists[ni].insert(i, dist)
+        self._inv_add(inv, ci, ni)
+        return True
+
+    def add_lin(self, node: Node, center: Node, dist: int) -> bool:
+        """Add/improve ``Lin(node)[center] = dist``; True when changed."""
+        return self._add(
+            self._lin, self._lin_dist, self._inv_lin, node, center, dist
+        )
+
+    def add_lout(self, node: Node, center: Node, dist: int) -> bool:
+        """Add/improve ``Lout(node)[center] = dist``; True when changed."""
+        return self._add(
+            self._lout, self._lout_dist, self._inv_lout, node, center, dist
+        )
+
+    def _discard(
+        self,
+        table: List[Optional[array]],
+        dists: List[Optional[array]],
+        inv: List[Optional[array]],
+        node: Node,
+        center: Node,
+    ) -> None:
+        ni, ci = self.interner.get(node), self.interner.get(center)
+        if ni is None or ci is None:
+            return
+        centers = self._row(table, ni)
+        if centers is None:
+            return
+        i = bisect_left(centers, ci)
+        if i < len(centers) and centers[i] == ci:
+            del centers[i]
+            del dists[ni][i]
+            self._inv_discard(inv, ci, ni)
+
+    def discard_lin(self, node: Node, center: Node) -> None:
+        self._discard(self._lin, self._lin_dist, self._inv_lin, node, center)
+
+    def discard_lout(self, node: Node, center: Node) -> None:
+        self._discard(self._lout, self._lout_dist, self._inv_lout, node, center)
+
+    def _set_label(
+        self,
+        table: List[Optional[array]],
+        dists: List[Optional[array]],
+        inv: List[Optional[array]],
+        node: Node,
+        entries: Mapping[Node, int],
+    ) -> None:
+        ni = self._intern(node)
+        old = table[ni]
+        if old:
+            for ci in old:
+                self._inv_discard(inv, ci, ni)
+        pairs = sorted(
+            (self._intern(c), d) for c, d in entries.items() if c != node
+        )
+        if pairs:
+            table[ni] = array(ID_TYPECODE, (p[0] for p in pairs))
+            dists[ni] = array(ID_TYPECODE, (p[1] for p in pairs))
+            for ci, _ in pairs:
+                self._inv_add(inv, ci, ni)
+        else:
+            table[ni] = None
+            dists[ni] = None
+
+    def set_lin(self, node: Node, entries: Mapping[Node, int]) -> None:
+        self._set_label(self._lin, self._lin_dist, self._inv_lin, node, entries)
+
+    def set_lout(self, node: Node, entries: Mapping[Node, int]) -> None:
+        self._set_label(self._lout, self._lout_dist, self._inv_lout, node, entries)
+
+    def remove_nodes(self, removed: Set[Node]) -> None:
+        removed_ids = []
+        for v in removed:
+            iid = self.interner.get(v)
+            if iid is not None:
+                removed_ids.append(iid)
+                self._nodes.discard(iid)
+        label = self.interner.label
+        for iid in removed_ids:
+            self.set_lin(label(iid), {})
+            self.set_lout(label(iid), {})
+        for iid in removed_ids:
+            inv_row = self._row(self._inv_lin, iid)
+            if inv_row:
+                for ni in list(inv_row):
+                    self._discard(
+                        self._lin, self._lin_dist, self._inv_lin,
+                        label(ni), label(iid),
+                    )
+            inv_row = self._row(self._inv_lout, iid)
+            if inv_row:
+                for ni in list(inv_row):
+                    self._discard(
+                        self._lout, self._lout_dist, self._inv_lout,
+                        label(ni), label(iid),
+                    )
+            self._inv_lin[iid] = None
+            self._inv_lout[iid] = None
+
+    def union(self, other) -> None:
+        self.add_nodes(other.nodes)
+        for kind, node, center, dist in other.entries():
+            if kind == "in":
+                self.add_lin(node, center, dist)
+            else:
+                self.add_lout(node, center, dist)
+
+    def copy(self) -> "ArrayDistanceCover":
+        clone = ArrayDistanceCover()
+        clone.interner = self.interner.copy()
+        clone._nodes = set(self._nodes)
+        for src, dst in (
+            (self._lin, "_lin"),
+            (self._lout, "_lout"),
+            (self._inv_lin, "_inv_lin"),
+            (self._inv_lout, "_inv_lout"),
+            (self._lin_dist, "_lin_dist"),
+            (self._lout_dist, "_lout_dist"),
+        ):
+            setattr(clone, dst, [a[:] if a else None for a in src])
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lin_of(self, node: Node) -> Dict[Node, int]:
+        ni = self.interner.get(node)
+        centers = self._row(self._lin, ni) if ni is not None else None
+        if not centers:
+            return {}
+        label = self.interner.label
+        dists = self._lin_dist[ni]
+        return {label(c): d for c, d in zip(centers, dists)}
+
+    def lout_of(self, node: Node) -> Dict[Node, int]:
+        ni = self.interner.get(node)
+        centers = self._row(self._lout, ni) if ni is not None else None
+        if not centers:
+            return {}
+        label = self.interner.label
+        dists = self._lout_dist[ni]
+        return {label(c): d for c, d in zip(centers, dists)}
+
+    def distance(self, u: Node, v: Node) -> Optional[int]:
+        """``MIN(LOUT.DIST + LIN.DIST)`` over common centers via one
+        galloping merge, extended by the implicit self-entries."""
+        get = self.interner.get
+        ui, vi = get(u), get(v)
+        if ui is None or vi is None:
+            return None
+        nodes = self._nodes
+        if ui not in nodes or vi not in nodes:
+            return None
+        if ui == vi:
+            return 0
+        best: Optional[int] = None
+        lout = self._row(self._lout, ui)
+        lin = self._row(self._lin, vi)
+        if lout:
+            i = bisect_left(lout, vi)
+            if i < len(lout) and lout[i] == vi:  # center = v (din 0)
+                best = self._lout_dist[ui][i]
+        if lin:
+            i = bisect_left(lin, ui)
+            if i < len(lin) and lin[i] == ui:  # center = u (dout 0)
+                d = self._lin_dist[vi][i]
+                if best is None or d < best:
+                    best = d
+        if lout and lin:
+            d = galloping_min_plus(
+                lout, self._lout_dist[ui], lin, self._lin_dist[vi]
+            )
+            if d is not None and (best is None or d < best):
+                best = d
+        return best
+
+    def connected(self, u: Node, v: Node) -> bool:
+        return self.distance(u, v) is not None
+
+    def descendants_within(self, u: Node, max_dist: int) -> Dict[Node, int]:
+        """Descendants of ``u`` at distance ≤ ``max_dist`` with distances."""
+        result: Dict[Node, int] = {}
+        for d in self.descendants(u):
+            dist = self.distance(u, d)
+            if dist is not None and dist <= max_dist:
+                result[d] = dist
+        return result
+
+    # ------------------------------------------------------------------
+    # statistics & persistence
+    # ------------------------------------------------------------------
+    def stored_integers(self, *, with_backward_index: bool = True) -> int:
+        """3 ints per entry (id, center, dist), doubled by the backward
+        index."""
+        per = 6 if with_backward_index else 3
+        return per * self.size
+
+    def entries(self) -> Iterator[Tuple[str, Node, Node, int]]:
+        """All label entries as ``(kind, node, center, dist)``."""
+        label = self.interner.label
+        for ni, row in enumerate(self._lin):
+            if row:
+                node = label(ni)
+                dists = self._lin_dist[ni]
+                for ci, d in zip(row, dists):
+                    yield ("in", node, label(ci), d)
+        for ni, row in enumerate(self._lout):
+            if row:
+                node = label(ni)
+                dists = self._lout_dist[ni]
+                for ci, d in zip(row, dists):
+                    yield ("out", node, label(ci), d)
+
+    def to_reachability(self) -> ArrayTwoHopCover:
+        """Forget distances."""
+        cover = ArrayTwoHopCover(self.nodes)
+        for kind, node, center, _ in self.entries():
+            if kind == "in":
+                cover.add_lin(node, center)
+            else:
+                cover.add_lout(node, center)
+        return cover
+
+    @classmethod
+    def from_cover(cls, cover) -> "ArrayDistanceCover":
+        """Convert any distance cover (protocol-level) to arrays.
+
+        Bulk path: group entries per node, sort once, assign whole
+        rows — O(k log k) per label instead of O(k^2) repeated
+        sorted inserts.
+        """
+        new = cls(cover.nodes)
+        lin_rows: Dict[int, List[Tuple[int, int]]] = {}
+        lout_rows: Dict[int, List[Tuple[int, int]]] = {}
+        intern = new._intern
+        for kind, node, center, dist in cover.entries():
+            rows = lin_rows if kind == "in" else lout_rows
+            rows.setdefault(intern(node), []).append((intern(center), dist))
+        for rows, table, dists, inv in (
+            (lin_rows, new._lin, new._lin_dist, new._inv_lin),
+            (lout_rows, new._lout, new._lout_dist, new._inv_lout),
+        ):
+            inv_rows: Dict[int, List[int]] = {}
+            for ni, pairs in rows.items():
+                pairs.sort()
+                table[ni] = array(ID_TYPECODE, (p[0] for p in pairs))
+                dists[ni] = array(ID_TYPECODE, (p[1] for p in pairs))
+                for ci, _ in pairs:
+                    inv_rows.setdefault(ci, []).append(ni)
+            for ci, ns in inv_rows.items():
+                inv[ci] = array(ID_TYPECODE, sorted(ns))
+        return new
+
+    def to_csr(self) -> Dict[str, object]:
+        lin_indptr, lin_data = self._pack_table(self._lin)
+        lout_indptr, lout_data = self._pack_table(self._lout)
+        inv_lin_indptr, inv_lin_data = self._pack_table(self._inv_lin)
+        inv_lout_indptr, inv_lout_data = self._pack_table(self._inv_lout)
+        _, lin_dist_data = self._pack_table(self._lin_dist)
+        _, lout_dist_data = self._pack_table(self._lout_dist)
+        return {
+            "distance": True,
+            "labels": self.interner.labels(),
+            "active": array(ID_TYPECODE, sorted(self._nodes)),
+            "lin": (lin_indptr, lin_data),
+            "lout": (lout_indptr, lout_data),
+            "inv_lin": (inv_lin_indptr, inv_lin_data),
+            "inv_lout": (inv_lout_indptr, inv_lout_data),
+            "lin_dist": lin_dist_data,
+            "lout_dist": lout_dist_data,
+        }
+
+    @classmethod
+    def from_csr(cls, payload: Mapping[str, object]) -> "ArrayDistanceCover":
+        new = cls()
+        new.interner = NodeInterner(payload["labels"])
+        new._nodes = set(payload["active"])
+        new._lin = cls._unpack_table(*payload["lin"])
+        new._lout = cls._unpack_table(*payload["lout"])
+        new._inv_lin = cls._unpack_table(*payload["inv_lin"])
+        new._inv_lout = cls._unpack_table(*payload["inv_lout"])
+        lin_indptr = payload["lin"][0]
+        lout_indptr = payload["lout"][0]
+        new._lin_dist = cls._unpack_table(lin_indptr, payload["lin_dist"])
+        new._lout_dist = cls._unpack_table(lout_indptr, payload["lout_dist"])
+        return new
+
+    def verify_against(self, dclosure, nodes: Optional[Iterable[Node]] = None) -> None:
+        """Assert distances match a :class:`DistanceClosure` exactly."""
+        universe = list(nodes) if nodes is not None else list(self.nodes)
+        for u in universe:
+            for v in universe:
+                expected = dclosure.distance(u, v)
+                actual = self.distance(u, v)
+                if expected != actual:
+                    raise AssertionError(
+                        f"distance mismatch for ({u!r}, {v!r}): "
+                        f"closure says {expected}, cover says {actual}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArrayDistanceCover(nodes={len(self._nodes)}, size={self.size})"

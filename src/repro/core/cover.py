@@ -18,13 +18,93 @@ Both maintain *backward* (inverted) indexes — ``center -> nodes carrying
 it`` — the in-memory analogue of the backward database indexes of
 Section 3.4, which make ancestor/descendant enumeration and the
 maintenance algorithms efficient.
+
+These set-backed covers are one of two interchangeable label backends;
+:mod:`repro.core.array_cover` provides the dense-id, sorted-array
+backend. Every layer above (builder, join, maintenance, query engine,
+storage) programs against :class:`CoverProtocol`, which both families
+satisfy, so ``HopiIndex(backend="sets"|"arrays")`` is a pure
+representation switch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
 
 Node = Hashable
+
+
+@runtime_checkable
+class CoverProtocol(Protocol):
+    """The label-backend contract shared by set- and array-backed covers.
+
+    Reachability covers take ``add_lin(node, center)`` /
+    ``set_lin(node, centers)`` and return center *sets* from
+    ``lin_of``; distance covers take ``add_lin(node, center, dist)`` /
+    ``set_lin(node, entries)`` and return ``{center: dist}`` mappings —
+    callers branch on :attr:`is_distance_aware`, never on concrete
+    classes.
+    """
+
+    is_distance_aware: bool
+
+    # universe
+    nodes: Iterable[Node]
+
+    def add_node(self, v: Node) -> None: ...
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None: ...
+
+    def remove_nodes(self, removed: Set[Node]) -> None: ...
+
+    # label access / mutation (signatures vary by distance-awareness;
+    # see class docstrings)
+    def lin_of(self, node: Node): ...
+
+    def lout_of(self, node: Node): ...
+
+    def discard_lin(self, node: Node, center: Node) -> None: ...
+
+    def discard_lout(self, node: Node, center: Node) -> None: ...
+
+    def nodes_with_lin_center(self, center: Node) -> Set[Node]: ...
+
+    def nodes_with_lout_center(self, center: Node) -> Set[Node]: ...
+
+    def union(self, other) -> None: ...
+
+    def copy(self): ...
+
+    # queries
+    def connected(self, u: Node, v: Node) -> bool: ...
+
+    def connected_many(self, u: Node, candidates: Sequence[Node]) -> List[bool]: ...
+
+    def descendants(self, u: Node) -> Set[Node]: ...
+
+    def ancestors(self, v: Node) -> Set[Node]: ...
+
+    # statistics & persistence
+    @property
+    def size(self) -> int: ...
+
+    def stored_integers(self, *, with_backward_index: bool = True) -> int: ...
+
+    def entries(self) -> Iterator[Tuple]: ...
+
+    def verify_against(self, closure, nodes: Optional[Iterable[Node]] = None) -> None: ...
 
 
 class TwoHopCover:
@@ -34,6 +114,8 @@ class TwoHopCover:
     for registered nodes, and nodes with empty labels still participate
     in queries through the implicit self-hop.
     """
+
+    is_distance_aware = False
 
     def __init__(self, nodes: Iterable[Node] = ()) -> None:
         self.nodes: Set[Node] = set(nodes)
@@ -49,21 +131,38 @@ class TwoHopCover:
     def add_node(self, v: Node) -> None:
         self.nodes.add(v)
 
-    def add_lin(self, node: Node, center: Node) -> None:
-        """Add ``center`` to ``Lin(node)`` (self-entries are dropped)."""
-        if node == center:
-            return
-        self.nodes.add(node)
-        self.lin.setdefault(node, set()).add(center)
-        self._inv_lin.setdefault(center, set()).add(node)
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        self.nodes.update(nodes)
 
-    def add_lout(self, node: Node, center: Node) -> None:
-        """Add ``center`` to ``Lout(node)`` (self-entries are dropped)."""
+    def add_lin(self, node: Node, center: Node) -> bool:
+        """Add ``center`` to ``Lin(node)`` (self-entries are dropped).
+
+        Returns True when the label actually changed.
+        """
         if node == center:
-            return
+            return False
         self.nodes.add(node)
-        self.lout.setdefault(node, set()).add(center)
+        entries = self.lin.setdefault(node, set())
+        if center in entries:
+            return False
+        entries.add(center)
+        self._inv_lin.setdefault(center, set()).add(node)
+        return True
+
+    def add_lout(self, node: Node, center: Node) -> bool:
+        """Add ``center`` to ``Lout(node)`` (self-entries are dropped).
+
+        Returns True when the label actually changed.
+        """
+        if node == center:
+            return False
+        self.nodes.add(node)
+        entries = self.lout.setdefault(node, set())
+        if center in entries:
+            return False
+        entries.add(center)
         self._inv_lout.setdefault(center, set()).add(node)
+        return True
 
     def discard_lin(self, node: Node, center: Node) -> None:
         entries = self.lin.get(node)
@@ -112,15 +211,15 @@ class TwoHopCover:
             self._inv_lin.pop(v, None)
             self._inv_lout.pop(v, None)
 
-    def union(self, other: "TwoHopCover") -> None:
-        """Component-wise union with another cover (Section 4.1's joins)."""
-        self.nodes |= other.nodes
-        for node, centers in other.lin.items():
-            for c in centers:
-                self.add_lin(node, c)
-        for node, centers in other.lout.items():
-            for c in centers:
-                self.add_lout(node, c)
+    def union(self, other) -> None:
+        """Component-wise union with any reachability cover
+        (Section 4.1's joins); protocol-level, so backends can mix."""
+        self.add_nodes(other.nodes)
+        for kind, node, center in other.entries():
+            if kind == "in":
+                self.add_lin(node, center)
+            else:
+                self.add_lout(node, center)
 
     def copy(self) -> "TwoHopCover":
         clone = TwoHopCover(self.nodes)
@@ -168,6 +267,15 @@ class TwoHopCover:
             small, large = (lout, lin) if len(lout) < len(lin) else (lin, lout)
             return any(c in large for c in small)
         return False
+
+    def connected_many(self, u: Node, candidates: Sequence[Node]) -> List[bool]:
+        """Batched ``[connected(u, c) for c in candidates]``.
+
+        The set backend has no better strategy than one intersection per
+        candidate; the array backend overrides this with a single
+        descendant-set materialisation over dense ids.
+        """
+        return [self.connected(u, c) for c in candidates]
 
     def descendants(self, u: Node) -> Set[Node]:
         """All ``d`` with ``u ->* d`` (including ``u``), via the backward index."""
@@ -256,6 +364,8 @@ class DistanceTwoHopCover:
     keep the minimum on duplicate insertion.
     """
 
+    is_distance_aware = True
+
     def __init__(self, nodes: Iterable[Node] = ()) -> None:
         self.nodes: Set[Node] = set(nodes)
         self.lin: Dict[Node, Dict[Node, int]] = {}
@@ -269,25 +379,34 @@ class DistanceTwoHopCover:
     def add_node(self, v: Node) -> None:
         self.nodes.add(v)
 
-    def add_lin(self, node: Node, center: Node, dist: int) -> None:
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        self.nodes.update(nodes)
+
+    def add_lin(self, node: Node, center: Node, dist: int) -> bool:
+        """Add/improve ``Lin(node)[center] = dist``; True when changed."""
         if node == center:
-            return
+            return False
         self.nodes.add(node)
         entries = self.lin.setdefault(node, {})
         old = entries.get(center)
         if old is None or dist < old:
             entries[center] = dist
             self._inv_lin.setdefault(center, set()).add(node)
+            return True
+        return False
 
-    def add_lout(self, node: Node, center: Node, dist: int) -> None:
+    def add_lout(self, node: Node, center: Node, dist: int) -> bool:
+        """Add/improve ``Lout(node)[center] = dist``; True when changed."""
         if node == center:
-            return
+            return False
         self.nodes.add(node)
         entries = self.lout.setdefault(node, {})
         old = entries.get(center)
         if old is None or dist < old:
             entries[center] = dist
             self._inv_lout.setdefault(center, set()).add(node)
+            return True
+        return False
 
     def set_lin(self, node: Node, entries: Dict[Node, int]) -> None:
         for c in self.lin.get(node, ()):
@@ -324,14 +443,14 @@ class DistanceTwoHopCover:
             self._inv_lin.pop(v, None)
             self._inv_lout.pop(v, None)
 
-    def union(self, other: "DistanceTwoHopCover") -> None:
-        self.nodes |= other.nodes
-        for node, entries in other.lin.items():
-            for c, d in entries.items():
-                self.add_lin(node, c, d)
-        for node, entries in other.lout.items():
-            for c, d in entries.items():
-                self.add_lout(node, c, d)
+    def union(self, other) -> None:
+        """Component-wise min-union with any distance cover."""
+        self.add_nodes(other.nodes)
+        for kind, node, center, dist in other.entries():
+            if kind == "in":
+                self.add_lin(node, center, dist)
+            else:
+                self.add_lout(node, center, dist)
 
     def copy(self) -> "DistanceTwoHopCover":
         clone = DistanceTwoHopCover(self.nodes)
@@ -403,6 +522,10 @@ class DistanceTwoHopCover:
     def connected(self, u: Node, v: Node) -> bool:
         return self.distance(u, v) is not None
 
+    def connected_many(self, u: Node, candidates: Sequence[Node]) -> List[bool]:
+        """Batched connection tests (see :meth:`TwoHopCover.connected_many`)."""
+        return [self.connected(u, c) for c in candidates]
+
     def descendants(self, u: Node) -> Set[Node]:
         if u not in self.nodes:
             return set()
@@ -453,6 +576,16 @@ class DistanceTwoHopCover:
         """3 ints per entry (id, center, dist), doubled by the backward index."""
         per = 6 if with_backward_index else 3
         return per * self.size
+
+    def entries(self) -> Iterator[Tuple[str, Node, Node, int]]:
+        """All label entries as ``(kind, node, center, dist)`` with kind
+        in {"in", "out"} — the row set of the LIN/LOUT tables."""
+        for node, centers in self.lin.items():
+            for c, d in centers.items():
+                yield ("in", node, c, d)
+        for node, centers in self.lout.items():
+            for c, d in centers.items():
+                yield ("out", node, c, d)
 
     def to_reachability(self) -> TwoHopCover:
         """Forget distances."""

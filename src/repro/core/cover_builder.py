@@ -27,7 +27,7 @@ and expands the component labels back to the original nodes.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.center_graph import densest_subgraph, initial_density_upper_bound
 from repro.core.cover import TwoHopCover
@@ -36,6 +36,11 @@ from repro.graph.condensation import Condensation
 from repro.graph.digraph import DiGraph
 
 Node = Hashable
+
+#: A cover backend constructor: ``factory(nodes) -> CoverProtocol``.
+#: ``TwoHopCover`` (sets) and ``ArrayTwoHopCover`` (dense arrays) both
+#: qualify; the builders never touch anything beyond the protocol.
+CoverFactory = Callable[[Iterable[Node]], "TwoHopCover"]
 
 
 class _UncoveredSet:
@@ -87,6 +92,7 @@ def build_cover_for_closure(
     closure: TransitiveClosure,
     *,
     preselected_centers: Iterable[Node] = (),
+    cover_factory: CoverFactory = TwoHopCover,
 ) -> TwoHopCover:
     """Compute a 2-hop cover for a materialised DAG closure.
 
@@ -97,11 +103,12 @@ def build_cover_for_closure(
         preselected_centers: nodes to use as center nodes *first*
             (Section 4.2; HOPI passes cross-partition link targets).
             Each covers every uncovered connection running through it.
+        cover_factory: backend constructor for the result cover.
 
     Returns:
-        A :class:`TwoHopCover` over the closure's nodes.
+        A reachability cover over the closure's nodes.
     """
-    cover = TwoHopCover(closure.reach.keys())
+    cover = cover_factory(closure.reach.keys())
     uncovered = _UncoveredSet(closure)
 
     # ---- Section 4.2: preselected centers (link targets) first --------
@@ -173,6 +180,8 @@ def build_cover_for_closure(
 def expand_component_cover(
     comp_cover: TwoHopCover,
     condensation: Condensation,
+    *,
+    cover_factory: CoverFactory = TwoHopCover,
 ) -> TwoHopCover:
     """Translate a cover over SCC ids into a cover over original nodes.
 
@@ -182,7 +191,7 @@ def expand_component_cover(
     a center in both labels, which encodes the intra-component
     connections (all members of an SCC reach each other).
     """
-    cover = TwoHopCover(condensation.component_of.keys())
+    cover = cover_factory(condensation.component_of.keys())
     rep = [members[0] for members in condensation.members]
     for cid, members in enumerate(condensation.members):
         lin = {rep[c] for c in comp_cover.lin_of(cid)}
@@ -204,6 +213,7 @@ def build_cover(
     *,
     closure: Optional[TransitiveClosure] = None,
     preselected_centers: Iterable[Node] = (),
+    cover_factory: CoverFactory = TwoHopCover,
 ) -> TwoHopCover:
     """Compute a 2-hop cover of an arbitrary directed graph.
 
@@ -219,13 +229,18 @@ def build_cover(
             only its node-level reach sets are consulted for DAG inputs).
         preselected_centers: original-graph nodes to force as centers
             first (Section 4.2); mapped onto components internally.
+        cover_factory: backend constructor for the result cover (the
+            intermediate component-level cover always uses sets — it
+            lives only for the duration of the build).
     """
     cond = Condensation(graph)
     if cond.is_dag_input and closure is not None:
         # Fast path: ids coincide with components 1:1.
         comp_closure = closure
         cover = build_cover_for_closure(
-            comp_closure, preselected_centers=preselected_centers
+            comp_closure,
+            preselected_centers=preselected_centers,
+            cover_factory=cover_factory,
         )
         return cover
     dag_closure = transitive_closure(cond.dag)
@@ -241,7 +256,7 @@ def build_cover(
     )
     if cond.is_dag_input:
         # translate component ids straight back to the original nodes
-        cover = TwoHopCover(cond.component_of.keys())
+        cover = cover_factory(cond.component_of.keys())
         rep = [members[0] for members in cond.members]
         for cid, members in enumerate(cond.members):
             v = members[0]
@@ -250,4 +265,4 @@ def build_cover(
             for c in comp_cover.lout_of(cid):
                 cover.add_lout(v, rep[c])
         return cover
-    return expand_component_cover(comp_cover, cond)
+    return expand_component_cover(comp_cover, cond, cover_factory=cover_factory)

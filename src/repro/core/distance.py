@@ -25,7 +25,7 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.center_graph import densest_subgraph
 from repro.core.cover import DistanceTwoHopCover
@@ -174,6 +174,7 @@ def build_distance_cover(
     preselected_centers: Iterable[Node] = (),
     seed: int = 20_05,
     sample_budget: int = DENSITY_SAMPLE_BUDGET,
+    cover_factory: Callable[[Iterable[Node]], DistanceTwoHopCover] = DistanceTwoHopCover,
 ) -> DistanceTwoHopCover:
     """Build a distance-aware 2-hop cover of an arbitrary digraph.
 
@@ -184,15 +185,17 @@ def build_distance_cover(
             over; they may only cover shortest-path-consistent pairs).
         seed: RNG seed for edge sampling (deterministic by default).
         sample_budget: see :func:`estimate_center_graph_edges`.
+        cover_factory: distance-cover backend constructor
+            (``DistanceTwoHopCover`` or ``ArrayDistanceCover``).
 
     Returns:
-        A :class:`DistanceTwoHopCover` whose ``distance`` matches BFS
-        shortest distances exactly.
+        A distance cover whose ``distance`` matches BFS shortest
+        distances exactly.
     """
     if dclosure is None:
         dclosure = distance_closure(graph)
     rng = random.Random(seed)
-    cover = DistanceTwoHopCover(dclosure.dist.keys())
+    cover = cover_factory(dclosure.dist.keys())
     uncovered = _UncoveredDistanceSet(dclosure)
 
     def label_and_remove(w, din, dout, in_side, out_side, adj):

@@ -34,10 +34,11 @@ on the skeleton graph).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Union
 
 from repro.core import maintenance as maint
+from repro.core.array_cover import ArrayDistanceCover, ArrayTwoHopCover
 from repro.core.cover import DistanceTwoHopCover, TwoHopCover
 from repro.core.cover_builder import build_cover
 from repro.core.distance import build_distance_cover
@@ -57,11 +58,43 @@ from repro.core.stats import IndexSizeReport
 from repro.graph.closure import distance_closure, transitive_closure
 from repro.xmlmodel.model import Collection, DocId, ElementId
 
-Cover = Union[TwoHopCover, DistanceTwoHopCover]
+Cover = Union[TwoHopCover, DistanceTwoHopCover, ArrayTwoHopCover, ArrayDistanceCover]
 
 _STRATEGIES = ("unpartitioned", "incremental", "recursive")
 _PARTITIONERS = ("node_weight", "closure", "single")
 _EDGE_WEIGHTS = ("links", "AxD", "A+D")
+
+#: label backends: name -> (reachability factory, distance factory)
+BACKENDS = {
+    "sets": (TwoHopCover, DistanceTwoHopCover),
+    "arrays": (ArrayTwoHopCover, ArrayDistanceCover),
+}
+
+
+def backend_of(cover: Cover) -> str:
+    """The backend name a cover instance belongs to."""
+    return "arrays" if isinstance(cover, (ArrayTwoHopCover, ArrayDistanceCover)) else "sets"
+
+
+def convert_cover(cover: Cover, backend: str) -> Cover:
+    """Re-represent a cover under another label backend (same semantics)."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; one of {tuple(BACKENDS)}")
+    if backend_of(cover) == backend:
+        return cover
+    plain_factory, distance_factory = BACKENDS[backend]
+    factory = distance_factory if cover.is_distance_aware else plain_factory
+    converter = getattr(factory, "from_cover", None)
+    if converter is not None:  # batch path (array backends)
+        return converter(cover)
+    fresh = factory(cover.nodes)
+    if cover.is_distance_aware:
+        for kind, node, center, dist in cover.entries():
+            (fresh.add_lin if kind == "in" else fresh.add_lout)(node, center, dist)
+    else:
+        for kind, node, center in cover.entries():
+            (fresh.add_lin if kind == "in" else fresh.add_lout)(node, center)
+    return fresh
 
 
 @dataclass
@@ -78,6 +111,7 @@ class BuildStats:
     cover_size: int
     num_nodes: int
     seconds_total: float
+    backend: str = "sets"
     seconds_partitioning: float = 0.0
     seconds_partition_covers: float = 0.0
     seconds_join: float = 0.0
@@ -107,6 +141,19 @@ class HopiIndex:
         self.cover = cover
         self.stats = stats
 
+    @property
+    def backend(self) -> str:
+        """The label backend the cover lives in (``sets`` or ``arrays``)."""
+        return backend_of(self.cover)
+
+    def with_backend(self, backend: str) -> "HopiIndex":
+        """Return an index whose cover uses ``backend`` (self if already)."""
+        converted = convert_cover(self.cover, backend)
+        if converted is self.cover:
+            return self
+        stats = replace(self.stats, backend=backend) if self.stats else None
+        return HopiIndex(self.collection, converted, stats=stats)
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -123,6 +170,7 @@ class HopiIndex:
         preselect_centers: bool = True,
         psg_node_limit: Optional[int] = None,
         seed: int = 0,
+        backend: str = "sets",
     ) -> "HopiIndex":
         """Build a HOPI index.
 
@@ -142,6 +190,9 @@ class HopiIndex:
             psg_node_limit: threshold above which the PSG closure is
                 computed with the recursive clustering variant.
             seed: partitioner seed.
+            backend: label backend — ``"sets"`` (dict-of-sets over raw
+                node ids) or ``"arrays"`` (interned dense ids + sorted
+                arrays); identical answers, different representation.
         """
         if strategy not in _STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; one of {_STRATEGIES}")
@@ -153,14 +204,19 @@ class HopiIndex:
             raise ValueError(
                 f"unknown edge weight {edge_weight!r}; one of {_EDGE_WEIGHTS}"
             )
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; one of {tuple(BACKENDS)}")
+        plain_factory, distance_factory = BACKENDS[backend]
         start = time.perf_counter()
 
         if strategy == "unpartitioned":
             graph = collection.element_graph()
             if distance:
-                cover: Cover = build_distance_cover(graph)
+                cover: Cover = build_distance_cover(
+                    graph, cover_factory=distance_factory
+                )
             else:
-                cover = build_cover(graph)
+                cover = build_cover(graph, cover_factory=plain_factory)
             stats = BuildStats(
                 strategy=strategy,
                 partitioner=None,
@@ -172,6 +228,7 @@ class HopiIndex:
                 cover_size=cover.size,
                 num_nodes=len(cover.nodes),
                 seconds_total=time.perf_counter() - start,
+                backend=backend,
             )
             return cls(collection, cover, stats=stats)
 
@@ -212,10 +269,16 @@ class HopiIndex:
             preselected = sorted(cross_targets_by_partition.get(pid, []))
             if distance:
                 pcov: Cover = build_distance_cover(
-                    graph, preselected_centers=preselected
+                    graph,
+                    preselected_centers=preselected,
+                    cover_factory=distance_factory,
                 )
             else:
-                pcov = build_cover(graph, preselected_centers=preselected)
+                pcov = build_cover(
+                    graph,
+                    preselected_centers=preselected,
+                    cover_factory=plain_factory,
+                )
             partition_covers.append(pcov)
             partition_seconds.append(time.perf_counter() - t1)
         seconds_partition_covers = time.perf_counter() - t0
@@ -227,11 +290,15 @@ class HopiIndex:
             # recursive join's H̄ has no distance analogue in the paper,
             # so distance builds use the incremental join to a fixpoint.
             cover = join_covers_incremental_distance(
-                partition_covers, partitioning.cross_links
+                partition_covers,
+                partitioning.cross_links,
+                cover_factory=distance_factory,
             )
         elif strategy == "incremental":
             cover = join_covers_incremental(
-                partition_covers, partitioning.cross_links
+                partition_covers,
+                partitioning.cross_links,
+                cover_factory=plain_factory,
             )
         else:
             cover = join_covers_recursive(
@@ -239,6 +306,7 @@ class HopiIndex:
                 partitioning,
                 partition_covers,
                 psg_node_limit=psg_node_limit,
+                cover_factory=plain_factory,
             )
         seconds_join = time.perf_counter() - t0
 
@@ -253,6 +321,7 @@ class HopiIndex:
             cover_size=cover.size,
             num_nodes=len(cover.nodes),
             seconds_total=time.perf_counter() - start,
+            backend=backend,
             seconds_partitioning=seconds_partitioning,
             seconds_partition_covers=seconds_partition_covers,
             seconds_join=seconds_join,
@@ -265,11 +334,20 @@ class HopiIndex:
     # ------------------------------------------------------------------
     @property
     def is_distance_aware(self) -> bool:
-        return isinstance(self.cover, DistanceTwoHopCover)
+        return self.cover.is_distance_aware
 
     def connected(self, u: ElementId, v: ElementId) -> bool:
         """Reachability test ``u ->* v`` along ancestor/descendant/link axes."""
         return self.cover.connected(u, v)
+
+    def connected_many(self, u: ElementId, candidates) -> List[bool]:
+        """Batched ``[connected(u, c) for c in candidates]``.
+
+        The descendant-step hot path of the query engine: the array
+        backend answers the whole batch from one descendant-set
+        materialisation over dense ids.
+        """
+        return self.cover.connected_many(u, candidates)
 
     def distance(self, u: ElementId, v: ElementId) -> Optional[int]:
         """Shortest link distance, or None when unreachable.
@@ -340,6 +418,7 @@ class HopiIndex:
             self, with a fresh cover and fresh build stats.
         """
         build_kwargs.setdefault("distance", self.is_distance_aware)
+        build_kwargs.setdefault("backend", self.backend)
         fresh = HopiIndex.build(self.collection, **build_kwargs)
         self.cover = fresh.cover
         self.stats = fresh.stats

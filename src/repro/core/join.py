@@ -28,7 +28,7 @@ must be connected into one cover for the whole element-level graph.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set
 
 from repro.core.cover import DistanceTwoHopCover, TwoHopCover
 from repro.core.partitioning import Partitioning
@@ -54,28 +54,33 @@ def insert_link(cover: TwoHopCover, u: ElementId, v: ElementId) -> int:
     """
     cover.add_node(u)
     cover.add_node(v)
-    before = cover.size
+    added = 0
     for a in cover.ancestors(u):
-        cover.add_lout(a, v)
+        if cover.add_lout(a, v):
+            added += 1
     for d in cover.descendants(v):
-        cover.add_lin(d, v)
-    return cover.size - before
+        if cover.add_lin(d, v):
+            added += 1
+    return added
 
 
 def join_covers_incremental(
     partition_covers: Sequence[TwoHopCover],
     cross_links: Iterable[Link],
+    *,
+    cover_factory: Callable[..., TwoHopCover] = TwoHopCover,
 ) -> TwoHopCover:
     """The original incremental join (Section 3.3).
 
     Args:
         partition_covers: one cover per partition (disjoint node sets).
         cross_links: the cross-partition links ``LP``.
+        cover_factory: backend constructor for the merged cover.
 
     Returns:
         A 2-hop cover for the whole element-level graph.
     """
-    merged = TwoHopCover()
+    merged = cover_factory()
     for cover in partition_covers:
         merged.union(cover)
     for u, v in cross_links:
@@ -89,6 +94,7 @@ def join_covers_recursive(
     partition_covers: Sequence[TwoHopCover],
     *,
     psg_node_limit: Optional[int] = None,
+    cover_factory: Callable[..., TwoHopCover] = TwoHopCover,
 ) -> TwoHopCover:
     """The new structurally recursive join (Section 4.1, Corollary 1).
 
@@ -101,13 +107,14 @@ def join_covers_recursive(
             its source-to-target closure is computed with the recursive
             clustering variant (the paper: "if the PSG is too large, we
             partition it"); otherwise directly.
+        cover_factory: backend constructor for the merged cover.
 
     Returns:
         The union of the partition covers, ``H̄`` and ``Ĥ`` — a 2-hop
         cover for ``G_E(X)`` by Corollary 1.
     """
     cross = partitioning.cross_links
-    merged = TwoHopCover()
+    merged = cover_factory()
     for cover in partition_covers:
         merged.union(cover)
     if not cross:
@@ -177,14 +184,10 @@ def insert_link_distance(
         if d is not None:
             dist_from_v[d_node] = d
     for a, da in dist_to_u.items():
-        before = cover.lout_of(a).get(v)
-        cover.add_lout(a, v, da + 1)
-        if a != v and cover.lout_of(a).get(v) != before:
+        if cover.add_lout(a, v, da + 1):
             changed += 1
     for d_node, dd in dist_from_v.items():
-        before = cover.lin_of(d_node).get(v)
-        cover.add_lin(d_node, v, dd)
-        if d_node != v and cover.lin_of(d_node).get(v) != before:
+        if cover.add_lin(d_node, v, dd):
             changed += 1
     return changed
 
@@ -192,6 +195,8 @@ def insert_link_distance(
 def join_covers_incremental_distance(
     partition_covers: Sequence[DistanceTwoHopCover],
     cross_links: Iterable[Link],
+    *,
+    cover_factory: Callable[..., DistanceTwoHopCover] = DistanceTwoHopCover,
 ) -> DistanceTwoHopCover:
     """Distance-aware incremental join.
 
@@ -201,7 +206,7 @@ def join_covers_incremental_distance(
     entries already recorded, so the loop below iterates to a fixpoint
     (usually 1-2 rounds on citation-style graphs).
     """
-    merged = DistanceTwoHopCover()
+    merged = cover_factory()
     for cover in partition_covers:
         merged.union(cover)
     links = list(cross_links)

@@ -66,7 +66,8 @@ class MaintenanceReport:
 
 
 def _is_distance(cover: Cover) -> bool:
-    return isinstance(cover, DistanceTwoHopCover)
+    # protocol attribute, not isinstance: array-backed covers qualify too
+    return cover.is_distance_aware
 
 
 # ---------------------------------------------------------------------------
@@ -140,9 +141,9 @@ def insert_document(
     doc = collection.documents[doc_id]
     doc_graph = doc.element_graph()
     if _is_distance(cover):
-        local: Cover = build_distance_cover(doc_graph)
+        local: Cover = build_distance_cover(doc_graph, cover_factory=type(cover))
     else:
-        local = build_cover(doc_graph)
+        local = build_cover(doc_graph, cover_factory=type(cover))
     cover.union(local)
     incident = [
         (u, v)
@@ -307,9 +308,9 @@ def _rebuild_region(
             region |= graph_descendants(graph, s)
     sub = graph.subgraph(region)
     if _is_distance(cover):
-        fresh: Cover = build_distance_cover(sub)
+        fresh: Cover = build_distance_cover(sub, cover_factory=type(cover))
     else:
-        fresh = build_cover(sub)
+        fresh = build_cover(sub, cover_factory=type(cover))
     return fresh, len(region)
 
 

@@ -9,9 +9,12 @@ left-to-right:
 * a ``child`` step keeps candidates whose parent is bound to the
   previous step;
 * a ``descendant`` step keeps candidates **reachable from** the previous
-  binding — one HOPI ``connected`` test instead of a graph traversal,
-  which is exactly the paper's reason for the index (and the reason
-  wildcards and links are no harder than plain paths).
+  binding — one batched HOPI ``connected_many`` probe per distinct
+  source instead of a graph traversal, which is exactly the paper's
+  reason for the index (and the reason wildcards and links are no
+  harder than plain paths). On the array backend the whole candidate
+  batch is answered from a single descendant-set materialisation over
+  dense node ids.
 
 Scores combine tag similarities multiplicatively; when the index is
 distance-aware, each descendant hop is additionally discounted by
@@ -130,10 +133,23 @@ class QueryEngine:
                     for e, tag_score in by_parent.get(bindings[-1], ()):
                         grown.append((bindings + (e,), score * tag_score))
             else:
+                # one batched reachability probe per distinct source
+                # element; bindings sharing a source reuse the answer.
+                # Only the reachable candidate *indices* are cached, so
+                # memory stays bounded by true positives, not by
+                # |sources| x |candidates|.
+                cand_elems = [e for e, _ in candidates]
+                reach_cache: Dict[ElementId, List[int]] = {}
                 for bindings, score in partial:
                     prev = bindings[-1]
-                    for e, tag_score in candidates:
-                        if e == prev or not self.index.connected(prev, e):
+                    reach = reach_cache.get(prev)
+                    if reach is None:
+                        flags = self.index.connected_many(prev, cand_elems)
+                        reach = [i for i, ok in enumerate(flags) if ok]
+                        reach_cache[prev] = reach
+                    for i in reach:
+                        e, tag_score = candidates[i]
+                        if e == prev:
                             continue
                         hop = self._hop_score(prev, e)
                         grown.append(

@@ -1,16 +1,21 @@
-"""Database-backed persistence of the HOPI index (Section 3.4).
+"""Persistence backends for the HOPI index (Section 3.4).
 
 The paper stores the 2-hop cover in two relational tables ``LIN(ID,
 INID)`` and ``LOUT(ID, OUTID)`` (plus a ``DIST`` column for
 distance-aware covers, Section 5.1), indexed forward *and* backward, and
 evaluates connection tests as one indexed join. This package reproduces
-that design on SQLite (the paper used Oracle 9.2 — the layout and the
-SQL are schema-level and carry over verbatim):
+that design and adds an array-native snapshot format behind one backend
+interface:
 
+* :mod:`repro.storage.base` — the :class:`CoverStore` contract every
+  backend implements;
 * :mod:`repro.storage.schema` — DDL and the paper's query strings;
 * :mod:`repro.storage.db` — :class:`SQLiteCoverStore`, answering
-  connection/distance/ancestor/descendant queries in SQL, plus
+  connection/distance/ancestor/descendant queries in SQL (batched
+  ``executemany`` writes, WAL tuning on file databases), plus
   collection persistence for a fully self-contained index file;
+* :mod:`repro.storage.snapshot` — CSR-style binary snapshots that
+  round-trip array-backed covers without per-row Python overhead;
 * :mod:`repro.storage.memstore` — an in-memory store with the same
   interface (the benchmark baseline for the SQL overhead).
 """
@@ -18,11 +23,19 @@ SQL are schema-level and carry over verbatim):
 from repro.storage.base import CoverStore
 from repro.storage.db import SQLiteCoverStore, load_index, persist_index
 from repro.storage.memstore import MemoryCoverStore
+from repro.storage.snapshot import (
+    SnapshotCoverStore,
+    load_snapshot,
+    save_snapshot,
+)
 
 __all__ = [
     "CoverStore",
     "SQLiteCoverStore",
     "MemoryCoverStore",
+    "SnapshotCoverStore",
     "load_index",
     "persist_index",
+    "load_snapshot",
+    "save_snapshot",
 ]

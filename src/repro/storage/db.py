@@ -9,20 +9,29 @@ for tests and benchmarks.
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Union
 
 from repro.core.cover import DistanceTwoHopCover, TwoHopCover
-from repro.core.hopi import HopiIndex
+from repro.core.hopi import HopiIndex, backend_of, convert_cover
 from repro.storage import schema
 from repro.storage.base import CoverStore
 from repro.xmlmodel.model import Collection
 
 Cover = Union[TwoHopCover, DistanceTwoHopCover]
 
+#: rows per ``executemany`` flush — large enough to amortise the SQL
+#: statement dispatch, small enough to bound peak row-buffer memory.
+BATCH_ROWS = 10_000
+
 
 class SQLiteCoverStore(CoverStore):
     """A 2-hop cover stored in LIN/LOUT tables with forward + backward
     indexes.
+
+    File-backed databases are opened with ``journal_mode=WAL`` and
+    ``synchronous=NORMAL`` — the standard bulk-write/point-read tuning
+    (readers never block the writer, fsync only at checkpoints).
+    ``:memory:`` databases keep SQLite's defaults.
 
     Args:
         path: database file path, or ``":memory:"``.
@@ -31,15 +40,41 @@ class SQLiteCoverStore(CoverStore):
     def __init__(self, path: str = ":memory:") -> None:
         self.path = path
         self._conn = sqlite3.connect(path)
+        if path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(schema.SCHEMA)
         self._conn.commit()
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
+    def _insert_batched_keyed(
+        self, cur: sqlite3.Cursor, sql_by_key: Dict[str, str], keyed_rows
+    ) -> None:
+        """Stream ``(key, row)`` pairs into per-key ``executemany``
+        batches of :data:`BATCH_ROWS` — the single flush policy for all
+        bulk writes."""
+        batches: Dict[str, List[tuple]] = {key: [] for key in sql_by_key}
+        for key, row in keyed_rows:
+            batch = batches[key]
+            batch.append(row)
+            if len(batch) >= BATCH_ROWS:
+                cur.executemany(sql_by_key[key], batch)
+                batch.clear()
+        for key, batch in batches.items():
+            if batch:
+                cur.executemany(sql_by_key[key], batch)
+
+
     def save_cover(self, cover: Cover) -> None:
-        """(Re)write the LIN/LOUT tables from an in-memory cover."""
-        distance = isinstance(cover, DistanceTwoHopCover)
+        """(Re)write the LIN/LOUT tables from an in-memory cover.
+
+        Works for any :class:`repro.core.cover.CoverProtocol` backend —
+        rows are streamed from ``cover.entries()`` in
+        :data:`BATCH_ROWS`-sized ``executemany`` batches.
+        """
+        distance = cover.is_distance_aware
         cur = self._conn.cursor()
         cur.execute("DELETE FROM LIN")
         cur.execute("DELETE FROM LOUT")
@@ -51,40 +86,26 @@ class SQLiteCoverStore(CoverStore):
             "INSERT OR REPLACE INTO META (KEY, VALUE) VALUES ('nodes', ?)",
             (",".join(str(n) for n in sorted(cover.nodes)),),
         )
+        # remember which label backend the cover was built with, so
+        # loads (and CLI queries) default to the same representation
+        cur.execute(
+            "INSERT OR REPLACE INTO META (KEY, VALUE) VALUES ('backend', ?)",
+            (backend_of(cover),),
+        )
         if distance:
-            cur.executemany(
-                "INSERT INTO LIN (ID, INID, DIST) VALUES (?, ?, ?)",
-                (
-                    (node, center, dist)
-                    for node, entries in cover.lin.items()
-                    for center, dist in entries.items()
-                ),
-            )
-            cur.executemany(
-                "INSERT INTO LOUT (ID, OUTID, DIST) VALUES (?, ?, ?)",
-                (
-                    (node, center, dist)
-                    for node, entries in cover.lout.items()
-                    for center, dist in entries.items()
-                ),
-            )
+            sql = {
+                "in": "INSERT INTO LIN (ID, INID, DIST) VALUES (?, ?, ?)",
+                "out": "INSERT INTO LOUT (ID, OUTID, DIST) VALUES (?, ?, ?)",
+            }
         else:
-            cur.executemany(
-                "INSERT INTO LIN (ID, INID) VALUES (?, ?)",
-                (
-                    (node, center)
-                    for node, centers in cover.lin.items()
-                    for center in centers
-                ),
-            )
-            cur.executemany(
-                "INSERT INTO LOUT (ID, OUTID) VALUES (?, ?)",
-                (
-                    (node, center)
-                    for node, centers in cover.lout.items()
-                    for center in centers
-                ),
-            )
+            sql = {
+                "in": "INSERT INTO LIN (ID, INID) VALUES (?, ?)",
+                "out": "INSERT INTO LOUT (ID, OUTID) VALUES (?, ?)",
+            }
+        # one pass over entries(), dispatching rows into per-table batches
+        self._insert_batched_keyed(
+            cur, sql, ((kind, tuple(row)) for kind, *row in cover.entries())
+        )
         self._conn.commit()
 
     def load_cover(self) -> Cover:
@@ -114,6 +135,10 @@ class SQLiteCoverStore(CoverStore):
         cur.execute("DELETE FROM DOCUMENTS")
         cur.execute("DELETE FROM ELEMENTS")
         cur.execute("DELETE FROM LINKS")
+        # executemany consumes generators lazily with one statement
+        # compile — no extra batching layer needed for single-table
+        # streams (save_cover needs the keyed variant because one
+        # entries() stream feeds two INSERT statements)
         cur.executemany(
             "INSERT INTO DOCUMENTS (DOC_ID, ROOT) VALUES (?, ?)",
             ((d.doc_id, d.root) for d in collection.documents.values()),
@@ -126,7 +151,7 @@ class SQLiteCoverStore(CoverStore):
                 for e in collection.elements.values()
             ),
         )
-        rows = [
+        links = [
             (u, v, "inter") for (u, v) in collection.inter_links
         ] + [
             (u, v, "intra")
@@ -134,7 +159,7 @@ class SQLiteCoverStore(CoverStore):
             for (u, v) in d.intra_links
         ]
         cur.executemany(
-            "INSERT INTO LINKS (SOURCE, TARGET, KIND) VALUES (?, ?, ?)", rows
+            "INSERT INTO LINKS (SOURCE, TARGET, KIND) VALUES (?, ?, ?)", links
         )
         self._conn.commit()
 
@@ -269,10 +294,19 @@ def persist_index(index: HopiIndex, path: str) -> SQLiteCoverStore:
     return store
 
 
-def load_index(path: str) -> HopiIndex:
-    """Load a previously persisted index back into memory."""
+def load_index(path: str, *, backend: Optional[str] = None) -> HopiIndex:
+    """Load a previously persisted index back into memory.
+
+    Args:
+        path: the database file.
+        backend: label backend for the loaded cover (``"sets"`` or
+            ``"arrays"``). ``None`` (default) restores the backend the
+            index was saved with.
+    """
     with SQLiteCoverStore(path) as store:
         collection = store.load_collection()
         cover = store.load_cover()
-    cover.nodes |= set(collection.elements)
-    return HopiIndex(collection, cover)
+        if backend is None:
+            backend = store._meta("backend") or "sets"
+    cover.add_nodes(collection.elements)
+    return HopiIndex(collection, convert_cover(cover, backend))

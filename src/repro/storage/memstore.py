@@ -6,7 +6,7 @@ Used as the no-database baseline in the query-performance benchmark
 
 from __future__ import annotations
 
-from typing import Optional, Set, Union
+from typing import List, Optional, Sequence, Set, Union
 
 from repro.core.cover import DistanceTwoHopCover, TwoHopCover
 from repro.storage.base import CoverStore
@@ -15,16 +15,23 @@ Cover = Union[TwoHopCover, DistanceTwoHopCover]
 
 
 class MemoryCoverStore(CoverStore):
-    """Wraps an in-memory cover behind the :class:`CoverStore` interface."""
+    """Wraps an in-memory cover (any backend) behind the
+    :class:`CoverStore` interface."""
 
     def __init__(self, cover: Cover) -> None:
+        self._cover = cover
+
+    def save_cover(self, cover: Cover) -> None:
         self._cover = cover
 
     def connected(self, u: int, v: int) -> bool:
         return self._cover.connected(u, v)
 
+    def connected_many(self, u: int, candidates: Sequence[int]) -> List[bool]:
+        return self._cover.connected_many(u, candidates)
+
     def distance(self, u: int, v: int) -> Optional[int]:
-        if not isinstance(self._cover, DistanceTwoHopCover):
+        if not self._cover.is_distance_aware:
             raise TypeError("store does not hold a distance-aware cover")
         return self._cover.distance(u, v)
 

@@ -1,0 +1,182 @@
+"""Compact CSR-style binary snapshots of array-backed covers.
+
+The SQLite store keeps one row per label entry — ideal for the paper's
+SQL query shapes, but (de)serialising a large cover costs one Python
+tuple per row. A snapshot instead writes the cover exactly as the
+array backend holds it in memory: a node-id table plus CSR blocks
+(``indptr`` offsets + one flat, sorted data array) for ``Lin``,
+``Lout`` and both backward indexes. Save and load move whole blocks
+with ``array.tobytes`` / ``array.frombytes`` — zero per-row Python
+work, and the loaded cover needs no index rebuilding.
+
+Layout (all little-endian)::
+
+    magic  b"HOPICSR1"
+    flags  uint32 (bit 0: distance-aware)
+    then a sequence of length-prefixed sections:
+        nodes      int64[]  external element ids, interner order
+        active     int32[]  internal ids of the active node universe
+        lin_ptr    int64[]  CSR offsets, len = nodes + 1
+        lin_dat    int32[]  concatenated sorted Lin center ids
+        lout_ptr / lout_dat
+        ilin_ptr / ilin_dat    backward index (center -> nodes)
+        ilout_ptr / ilout_dat
+        lin_dist   int32[]  (distance covers only, aligned with lin_dat)
+        lout_dist  int32[]
+
+Snapshots require integer node labels (element ids always are); covers
+over exotic hashables belong in the SQLite or memory stores.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import BinaryIO, List, Optional, Set, Union
+
+from repro.core.array_cover import ArrayDistanceCover, ArrayTwoHopCover
+from repro.storage.base import CoverStore
+
+MAGIC = b"HOPICSR1"
+_FLAG_DISTANCE = 1
+
+ArrayCover = Union[ArrayTwoHopCover, ArrayDistanceCover]
+
+
+def _write_array(fh: BinaryIO, arr: array) -> None:
+    if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+        arr = arr[:]
+        arr.byteswap()
+    fh.write(struct.pack("<cQ", arr.typecode.encode(), len(arr)))
+    fh.write(arr.tobytes())
+
+
+def _read_array(fh: BinaryIO) -> array:
+    header = fh.read(9)
+    if len(header) != 9:
+        raise ValueError("truncated snapshot: section header missing")
+    typecode, length = struct.unpack("<cQ", header)
+    arr = array(typecode.decode())
+    payload = fh.read(length * arr.itemsize)
+    if len(payload) != length * arr.itemsize:
+        raise ValueError(
+            f"truncated snapshot: expected {length * arr.itemsize} bytes, "
+            f"got {len(payload)}"
+        )
+    arr.frombytes(payload)
+    if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+        arr.byteswap()
+    return arr
+
+
+def save_snapshot(path: Union[str, Path], cover: ArrayCover) -> int:
+    """Write an array-backed cover to ``path``; returns bytes written.
+
+    Set-backed covers must be converted first
+    (:func:`repro.core.hopi.convert_cover`) — the snapshot is the
+    serialised form of the array representation.
+    """
+    if not isinstance(cover, (ArrayTwoHopCover, ArrayDistanceCover)):
+        raise TypeError(
+            "snapshots hold array-backed covers; convert with "
+            "convert_cover(cover, 'arrays') first"
+        )
+    payload = cover.to_csr()
+    labels = payload["labels"]
+    if not all(isinstance(x, int) for x in labels):
+        raise TypeError("snapshot node labels must be integers (element ids)")
+    flags = _FLAG_DISTANCE if payload["distance"] else 0
+    path = Path(path)
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<I", flags))
+        _write_array(fh, array("q", labels))
+        _write_array(fh, payload["active"])
+        for key in ("lin", "lout", "inv_lin", "inv_lout"):
+            indptr, data = payload[key]
+            _write_array(fh, indptr)
+            _write_array(fh, data)
+        if flags & _FLAG_DISTANCE:
+            _write_array(fh, payload["lin_dist"])
+            _write_array(fh, payload["lout_dist"])
+    return path.stat().st_size
+
+
+def load_snapshot(path: Union[str, Path]) -> ArrayCover:
+    """Load a snapshot back into an array-backed cover."""
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"{path}: not a HOPI CSR snapshot")
+        (flags,) = struct.unpack("<I", fh.read(4))
+        labels = list(_read_array(fh))
+        active = _read_array(fh)
+        blocks = {}
+        for key in ("lin", "lout", "inv_lin", "inv_lout"):
+            indptr = _read_array(fh)
+            data = _read_array(fh)
+            blocks[key] = (indptr, data)
+        payload = {
+            "labels": labels,
+            "active": active,
+            **blocks,
+        }
+        if flags & _FLAG_DISTANCE:
+            payload["distance"] = True
+            payload["lin_dist"] = _read_array(fh)
+            payload["lout_dist"] = _read_array(fh)
+            return ArrayDistanceCover.from_csr(payload)
+        payload["distance"] = False
+        return ArrayTwoHopCover.from_csr(payload)
+
+
+class SnapshotCoverStore(CoverStore):
+    """A :class:`CoverStore` over a CSR snapshot file.
+
+    Queries are answered by the materialised array cover (loaded lazily
+    on first use); :meth:`save_cover` rewrites the file.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._cover: Optional[ArrayCover] = None
+
+    def _loaded(self) -> ArrayCover:
+        if self._cover is None:
+            self._cover = load_snapshot(self.path)
+        return self._cover
+
+    def save_cover(self, cover) -> None:
+        from repro.core.hopi import convert_cover
+
+        converted = convert_cover(cover, "arrays")
+        save_snapshot(self.path, converted)
+        # cache a private copy: the caller may keep mutating its live
+        # cover, and the store must keep answering from persisted state
+        self._cover = converted.copy()
+
+    def load_cover(self) -> ArrayCover:
+        return self._loaded()
+
+    def connected(self, u: int, v: int) -> bool:
+        return self._loaded().connected(u, v)
+
+    def connected_many(self, u: int, candidates) -> List[bool]:
+        return self._loaded().connected_many(u, candidates)
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        cover = self._loaded()
+        if not cover.is_distance_aware:
+            raise TypeError("store does not hold a distance-aware cover")
+        return cover.distance(u, v)
+
+    def descendants(self, u: int) -> Set[int]:
+        return self._loaded().descendants(u)
+
+    def ancestors(self, v: int) -> Set[int]:
+        return self._loaded().ancestors(v)
+
+    def cover_size(self) -> int:
+        return self._loaded().size

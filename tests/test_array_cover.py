@@ -1,0 +1,240 @@
+"""Unit tests for the array-backed cover family.
+
+Protocol behaviours are mostly exercised by the randomized equivalence
+suite (``test_equivalence.py``); this file covers the array-specific
+machinery: sorted-array primitives, galloping merges, CSR round-trips
+and the batched ``connected_many`` hot path.
+"""
+
+from array import array
+
+import pytest
+
+from repro.core.array_cover import (
+    ArrayDistanceCover,
+    ArrayTwoHopCover,
+    galloping_intersects,
+    galloping_min_plus,
+    sorted_contains,
+    sorted_insert,
+    sorted_remove,
+)
+from repro.core.cover import CoverProtocol, DistanceTwoHopCover, TwoHopCover
+
+
+# ---------------------------------------------------------------------------
+# primitives
+# ---------------------------------------------------------------------------
+
+
+def test_sorted_insert_remove_contains():
+    arr = array("i")
+    assert sorted_insert(arr, 5) and sorted_insert(arr, 1) and sorted_insert(arr, 3)
+    assert list(arr) == [1, 3, 5]
+    assert not sorted_insert(arr, 3)  # duplicate
+    assert sorted_contains(arr, 3) and not sorted_contains(arr, 4)
+    assert sorted_remove(arr, 3) and not sorted_remove(arr, 3)
+    assert list(arr) == [1, 5]
+
+
+@pytest.mark.parametrize(
+    "a, b, expected",
+    [
+        ([], [1, 2], False),
+        ([1, 3, 5], [2, 4, 6], False),
+        ([1, 3, 5], [5, 7], True),
+        ([10], list(range(100)), True),
+        ([200], list(range(100)), False),  # disjoint ranges short-circuit
+        (list(range(0, 50, 2)), list(range(1, 50, 2)), False),
+        ([7], [7], True),
+    ],
+)
+def test_galloping_intersects(a, b, expected):
+    assert galloping_intersects(array("i", a), array("i", b)) is expected
+    assert galloping_intersects(array("i", b), array("i", a)) is expected
+
+
+def test_galloping_min_plus():
+    c1, d1 = array("i", [1, 4, 9]), array("i", [5, 1, 2])
+    c2, d2 = array("i", [2, 4, 9]), array("i", [1, 3, 1])
+    # common centers: 4 (1+3=4) and 9 (2+1=3)
+    assert galloping_min_plus(c1, d1, c2, d2) == 3
+    assert galloping_min_plus(c1, d1, array("i", [3]), array("i", [0])) is None
+    assert galloping_min_plus(array("i"), array("i"), c2, d2) is None
+
+
+# ---------------------------------------------------------------------------
+# the cover protocol
+# ---------------------------------------------------------------------------
+
+
+def test_array_covers_satisfy_protocol():
+    assert isinstance(ArrayTwoHopCover(), CoverProtocol)
+    assert isinstance(ArrayDistanceCover(), CoverProtocol)
+    assert isinstance(TwoHopCover(), CoverProtocol)
+    assert isinstance(DistanceTwoHopCover(), CoverProtocol)
+    assert not ArrayTwoHopCover.is_distance_aware
+    assert ArrayDistanceCover.is_distance_aware
+
+
+def test_basic_label_semantics():
+    cover = ArrayTwoHopCover([1, 2, 3, 4])
+    cover.add_lout(1, 2)
+    cover.add_lin(3, 2)
+    assert cover.connected(1, 3)          # shared center 2
+    assert cover.connected(1, 1)          # implicit self
+    assert not cover.connected(3, 1)
+    assert not cover.connected(1, 99)     # unknown node
+    cover.add_lout(1, 3)                  # v itself as center
+    assert cover.connected(1, 3)
+    assert cover.lout_of(1) == {2, 3}
+    assert cover.nodes_with_lout_center(2) == {1}
+    assert cover.size == 3
+    assert cover.stored_integers() == 12
+
+
+def test_self_entries_are_dropped():
+    cover = ArrayTwoHopCover([1])
+    cover.add_lin(1, 1)
+    cover.add_lout(1, 1)
+    assert cover.size == 0
+
+
+def test_discard_and_set_labels():
+    cover = ArrayTwoHopCover([1, 2, 3])
+    cover.add_lout(1, 2)
+    cover.add_lout(1, 3)
+    cover.discard_lout(1, 2)
+    assert cover.lout_of(1) == {3}
+    assert cover.nodes_with_lout_center(2) == set()
+    cover.set_lout(1, {2})
+    assert cover.lout_of(1) == {2}
+    assert cover.nodes_with_lout_center(3) == set()
+    cover.set_lout(1, ())
+    assert cover.lout_of(1) == set()
+    assert cover.size == 0
+
+
+def test_remove_nodes_purges_labels_and_centers():
+    cover = ArrayTwoHopCover([1, 2, 3])
+    cover.add_lout(1, 2)
+    cover.add_lin(3, 2)
+    cover.remove_nodes({2})
+    assert 2 not in cover.nodes
+    assert cover.size == 0
+    assert not cover.connected(1, 3)
+
+
+def test_connected_many_matches_pointwise():
+    cover = ArrayTwoHopCover(range(6))
+    cover.add_lout(0, 2)
+    cover.add_lin(3, 2)
+    cover.add_lin(4, 2)
+    cover.add_lout(0, 5)
+    candidates = list(range(6)) + [77]
+    batched = cover.connected_many(0, candidates)
+    assert batched == [cover.connected(0, c) for c in candidates]
+    assert cover.connected_many(77, candidates) == [False] * len(candidates)
+
+
+def test_connected_many_excludes_non_universe_centers():
+    """A center referenced by a label but outside the node universe is
+    rejected by connected(); the batched path must agree."""
+    cover = ArrayTwoHopCover([1, 2])
+    cover.add_lout(1, 5)  # 5 interned as a center, never added as a node
+    assert not cover.connected(1, 5)
+    assert cover.connected_many(1, [5, 2, 1]) == [
+        cover.connected(1, 5), cover.connected(1, 2), cover.connected(1, 1)
+    ]
+    sets_cover = TwoHopCover([1, 2])
+    sets_cover.add_lout(1, 5)
+    assert cover.connected_many(1, [5]) == sets_cover.connected_many(1, [5])
+
+
+def test_union_and_copy_across_backends():
+    sets_cover = TwoHopCover([1, 2, 3])
+    sets_cover.add_lout(1, 2)
+    arr = ArrayTwoHopCover([3, 4])
+    arr.add_lin(4, 2)
+    arr.union(sets_cover)
+    assert arr.lout_of(1) == {2}
+    assert arr.connected(1, 4)
+    clone = arr.copy()
+    clone.add_lout(3, 4)
+    assert arr.lout_of(3) == set()
+
+
+def test_distance_min_on_duplicate_insert():
+    cover = ArrayDistanceCover([1, 2, 3])
+    cover.add_lout(1, 2, 5)
+    cover.add_lout(1, 2, 3)   # improves
+    cover.add_lout(1, 2, 9)   # ignored
+    cover.add_lin(3, 2, 1)
+    assert cover.distance(1, 3) == 4
+    assert cover.lout_of(1) == {2: 3}
+    assert cover.distance(1, 1) == 0
+    assert cover.distance(3, 1) is None
+    assert cover.connected(1, 3)
+
+
+def test_distance_self_hop_disjuncts():
+    cover = ArrayDistanceCover([1, 2])
+    cover.add_lout(1, 2, 4)   # center = v itself
+    assert cover.distance(1, 2) == 4
+    cover2 = ArrayDistanceCover([1, 2])
+    cover2.add_lin(2, 1, 7)   # center = u itself
+    assert cover2.distance(1, 2) == 7
+
+
+def test_distance_to_reachability():
+    cover = ArrayDistanceCover([1, 2, 3])
+    cover.add_lout(1, 2, 2)
+    cover.add_lin(3, 2, 1)
+    reach = cover.to_reachability()
+    assert reach.connected(1, 3)
+    assert reach.size == cover.size
+
+
+# ---------------------------------------------------------------------------
+# CSR round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_csr_roundtrip_reachability():
+    cover = ArrayTwoHopCover(range(5))
+    cover.add_lout(0, 2)
+    cover.add_lin(3, 2)
+    cover.add_lin(4, 0)
+    back = ArrayTwoHopCover.from_csr(cover.to_csr())
+    assert back.size == cover.size
+    assert set(back.nodes) == set(cover.nodes)
+    for u in range(5):
+        for v in range(5):
+            assert back.connected(u, v) == cover.connected(u, v)
+        assert back.descendants(u) == cover.descendants(u)
+        assert back.ancestors(u) == cover.ancestors(u)
+
+
+def test_csr_roundtrip_distance():
+    cover = ArrayDistanceCover(range(5))
+    cover.add_lout(0, 2, 1)
+    cover.add_lin(3, 2, 2)
+    cover.add_lin(4, 0, 5)
+    back = ArrayDistanceCover.from_csr(cover.to_csr())
+    for u in range(5):
+        for v in range(5):
+            assert back.distance(u, v) == cover.distance(u, v)
+
+
+def test_from_cover_preserves_entries():
+    sets_cover = TwoHopCover(range(4))
+    sets_cover.add_lout(0, 1)
+    sets_cover.add_lout(0, 2)
+    sets_cover.add_lin(3, 1)
+    arr = ArrayTwoHopCover.from_cover(sets_cover)
+    assert sorted(arr.entries()) == sorted(sets_cover.entries())
+    dist = DistanceTwoHopCover(range(4))
+    dist.add_lout(0, 1, 2)
+    dist.add_lin(3, 1, 1)
+    darr = ArrayDistanceCover.from_cover(dist)
+    assert sorted(darr.entries()) == sorted(dist.entries())

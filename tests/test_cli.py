@@ -49,6 +49,39 @@ def test_build_options(corpus, tmp_path):
     assert db.exists()
 
 
+def test_build_backend_arrays(corpus, tmp_path, capsys):
+    db = tmp_path / "arr.db"
+    assert main(["build", str(corpus), "-o", str(db), "--backend", "arrays"]) == 0
+    out = capsys.readouterr().out
+    assert "backend = arrays" in out
+    assert main(["verify", str(db)]) == 0
+
+
+def test_backend_flag_in_help(capsys):
+    for sub in ("build", "query"):
+        with pytest.raises(SystemExit):
+            main([sub, "--help"])
+        out = capsys.readouterr().out
+        assert "--backend {sets,arrays}" in out
+
+
+def test_query_backends_agree(index_path, capsys):
+    assert main(["query", str(index_path), "//article//author",
+                 "--backend", "sets", "--limit", "50"]) == 0
+    sets_out = capsys.readouterr().out
+    assert main(["query", str(index_path), "//article//author",
+                 "--backend", "arrays", "--limit", "50"]) == 0
+    arrays_out = capsys.readouterr().out
+    assert sets_out == arrays_out
+    assert "<author>" in arrays_out
+
+
+def test_invalid_backend_rejected(corpus, tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["build", str(corpus), "-o", str(tmp_path / "x.db"),
+              "--backend", "bitmaps"])
+
+
 def test_build_distance(corpus, tmp_path, capsys):
     db = tmp_path / "dist.db"
     assert main(["build", str(corpus), "-o", str(db), "--distance"]) == 0

@@ -1,0 +1,46 @@
+"""Tests for the dense node-id interner."""
+
+import pytest
+
+from repro.core.interner import NodeInterner
+
+
+def test_ids_are_dense_and_stable():
+    interner = NodeInterner()
+    ids = [interner.intern(label) for label in ("a", "b", "c")]
+    assert ids == [0, 1, 2]
+    # re-interning returns the same id
+    assert interner.intern("b") == 1
+    assert len(interner) == 3
+
+
+def test_bidirectional_mapping():
+    interner = NodeInterner(["x", "y"])
+    assert interner.get("x") == 0
+    assert interner.get("missing") is None
+    assert interner.label(1) == "y"
+    assert interner.labels() == ["x", "y"]
+    assert "x" in interner and "missing" not in interner
+    assert list(interner) == ["x", "y"]
+
+
+def test_arbitrary_hashables():
+    interner = NodeInterner()
+    assert interner.intern((1, "tuple")) == 0
+    assert interner.intern(frozenset({2})) == 1
+    assert interner.label(0) == (1, "tuple")
+
+
+def test_copy_is_independent():
+    interner = NodeInterner(["a"])
+    clone = interner.copy()
+    clone.intern("b")
+    assert len(interner) == 1
+    assert len(clone) == 2
+    assert clone.get("a") == 0
+
+
+def test_unknown_id_raises():
+    interner = NodeInterner(["a"])
+    with pytest.raises(IndexError):
+        interner.label(5)

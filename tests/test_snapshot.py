@@ -1,0 +1,116 @@
+"""Tests for the CSR snapshot format and its CoverStore."""
+
+import pytest
+
+from repro.core.array_cover import ArrayDistanceCover, ArrayTwoHopCover
+from repro.core.cover import TwoHopCover
+from repro.core.hopi import HopiIndex
+from repro.storage import SnapshotCoverStore, load_snapshot, save_snapshot
+from repro.xmlmodel.generator import dblp_like
+
+
+@pytest.fixture(scope="module")
+def small_index():
+    return HopiIndex.build(
+        dblp_like(20, seed=9), backend="arrays",
+        strategy="recursive", partitioner="node_weight", partition_limit=40,
+    )
+
+
+def test_roundtrip_reachability(tmp_path, small_index):
+    path = tmp_path / "cover.snap"
+    written = save_snapshot(path, small_index.cover)
+    assert written == path.stat().st_size > 0
+    loaded = load_snapshot(path)
+    assert isinstance(loaded, ArrayTwoHopCover)
+    assert loaded.size == small_index.cover.size
+    assert set(loaded.nodes) == set(small_index.cover.nodes)
+    nodes = sorted(small_index.collection.elements)[:40]
+    for u in nodes:
+        assert loaded.descendants(u) == small_index.descendants(u)
+        assert loaded.ancestors(u) == small_index.ancestors(u)
+        assert loaded.connected_many(u, nodes) == small_index.connected_many(u, nodes)
+
+
+def test_roundtrip_distance(tmp_path):
+    index = HopiIndex.build(
+        dblp_like(10, seed=9), backend="arrays", distance=True,
+        strategy="recursive", partitioner="node_weight", partition_limit=40,
+    )
+    path = tmp_path / "dist.snap"
+    save_snapshot(path, index.cover)
+    loaded = load_snapshot(path)
+    assert isinstance(loaded, ArrayDistanceCover)
+    nodes = sorted(index.collection.elements)[:30]
+    for u in nodes:
+        for v in nodes:
+            assert loaded.distance(u, v) == index.distance(u, v)
+
+
+def test_snapshot_store_queries(tmp_path, small_index):
+    path = tmp_path / "store.snap"
+    store = SnapshotCoverStore(path)
+    store.save_cover(small_index.cover)
+    assert store.cover_size() == small_index.cover.size
+    nodes = sorted(small_index.collection.elements)[:20]
+    for u in nodes:
+        assert store.descendants(u) == small_index.descendants(u)
+        for v in nodes:
+            assert store.connected(u, v) == small_index.connected(u, v)
+    with pytest.raises(TypeError):
+        store.distance(nodes[0], nodes[1])
+
+
+def test_snapshot_store_isolated_from_live_mutation(tmp_path):
+    """After save_cover, the store answers from persisted state even if
+    the caller keeps mutating its live cover."""
+    cover = ArrayTwoHopCover([1, 2, 5])
+    cover.add_lout(1, 2)
+    store = SnapshotCoverStore(tmp_path / "live.snap")
+    store.save_cover(cover)
+    cover.add_lout(1, 9)
+    cover.add_lin(5, 9)
+    assert not store.connected(1, 5)
+    fresh = SnapshotCoverStore(tmp_path / "live.snap")
+    assert store.cover_size() == fresh.cover_size() == 1
+
+
+def test_snapshot_store_converts_set_covers(tmp_path):
+    cover = TwoHopCover([1, 2, 3])
+    cover.add_lout(1, 2)
+    cover.add_lin(3, 2)
+    store = SnapshotCoverStore(tmp_path / "sets.snap")
+    store.save_cover(cover)
+    assert store.connected(1, 3)
+    assert store.load_cover().size == cover.size
+
+
+def test_save_rejects_set_covers_directly(tmp_path):
+    with pytest.raises(TypeError):
+        save_snapshot(tmp_path / "bad.snap", TwoHopCover([1]))
+
+
+def test_save_rejects_non_integer_labels(tmp_path):
+    cover = ArrayTwoHopCover(["a", "b"])
+    cover.add_lout("a", "b")
+    with pytest.raises(TypeError):
+        save_snapshot(tmp_path / "bad.snap", cover)
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "garbage.snap"
+    path.write_bytes(b"not a snapshot at all")
+    with pytest.raises(ValueError):
+        load_snapshot(path)
+
+
+def test_load_rejects_truncated_snapshot(tmp_path, small_index):
+    """A partially written snapshot must fail loudly, not load as a
+    silently corrupt cover."""
+    path = tmp_path / "trunc.snap"
+    save_snapshot(path, small_index.cover)
+    blob = path.read_bytes()
+    for cut in (4, 9, 17):  # aligned and misaligned truncations
+        path.write_bytes(blob[:-cut])
+        with pytest.raises(ValueError, match="truncated snapshot"):
+            load_snapshot(path)

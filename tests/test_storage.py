@@ -186,3 +186,68 @@ def test_context_manager(tmp_path):
     # file persisted; reopen works
     with SQLiteCoverStore(path) as s:
         assert s.connected(1, 2)
+
+
+def test_file_backed_store_uses_wal(tmp_path):
+    path = os.path.join(tmp_path, "wal.db")
+    with SQLiteCoverStore(path) as s:
+        (mode,) = s._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+        (sync,) = s._conn.execute("PRAGMA synchronous").fetchone()
+        assert sync == 1  # NORMAL
+
+
+def test_memory_store_keeps_default_journal():
+    s = SQLiteCoverStore(":memory:")
+    (mode,) = s._conn.execute("PRAGMA journal_mode").fetchone()
+    assert mode == "memory"
+
+
+def test_save_cover_accepts_array_backend(tmp_path):
+    from repro.core.array_cover import ArrayTwoHopCover
+
+    cover = ArrayTwoHopCover([1, 2, 3])
+    cover.add_lout(1, 2)
+    cover.add_lin(3, 2)
+    store = SQLiteCoverStore(":memory:")
+    store.save_cover(cover)
+    assert store.cover_size() == 2
+    assert store.connected(1, 3)
+    loaded = store.load_cover()
+    assert isinstance(loaded, TwoHopCover)
+    assert loaded.connected(1, 3)
+
+
+def test_save_cover_batches_large_covers():
+    """A cover larger than one executemany batch persists completely."""
+    from repro.storage.db import BATCH_ROWS
+
+    cover = TwoHopCover(range(2, BATCH_ROWS + 1000))
+    for node in range(2, BATCH_ROWS + 1000):
+        cover.add_lout(node, 1)
+    store = SQLiteCoverStore(":memory:")
+    store.save_cover(cover)
+    assert store.cover_size() == cover.size
+
+
+def test_load_index_array_backend(tmp_path):
+    collection = dblp_like(8, seed=4)
+    index = HopiIndex.build(collection)
+    path = os.path.join(tmp_path, "arr.db")
+    persist_index(index, path).close()
+    loaded = load_index(path, backend="arrays")
+    assert loaded.backend == "arrays"
+    nodes = sorted(collection.elements)
+    for u in nodes[:30]:
+        assert loaded.descendants(u) == index.descendants(u)
+
+
+def test_load_index_restores_saved_backend(tmp_path):
+    collection = dblp_like(6, seed=4)
+    for backend in ("sets", "arrays"):
+        index = HopiIndex.build(collection, backend=backend)
+        path = os.path.join(tmp_path, f"{backend}.db")
+        persist_index(index, path).close()
+        assert load_index(path).backend == backend
+        # explicit choice still overrides the stored default
+        assert load_index(path, backend="sets").backend == "sets"
