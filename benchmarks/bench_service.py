@@ -1,0 +1,99 @@
+"""Serving-tier benchmarks: caching, concurrency scaling, hot swap.
+
+The acceptance bars of the serving tier live here:
+
+* cached repeat queries ≥ 10x faster than cold evaluation;
+* ≥ 2x aggregate closed-loop throughput at 4 client threads vs 1
+  (overlapping working sets share the result cache and coalesce
+  in-flight work, so scaling survives the GIL);
+* an ``/update`` hot-swap completing during sustained querying with
+  zero failed requests and zero torn (cross-epoch) answers.
+
+Like ``bench_query.py``, the default run keeps wall-clock assertions
+off so shared CI runners cannot fail on timing noise; set
+``REPRO_BENCH_RECORD=1`` to enforce the bars and append the measurement
+to the repo-root ``BENCH_service.json`` trajectory.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.service_load import (
+    emit_bench_service_entry,
+    run_cold_vs_cached,
+    run_closed_loop,
+    run_hot_swap_under_load,
+    run_service_benchmark,
+    service_query_mix,
+)
+from repro.core.hopi import HopiIndex
+from repro.service import QueryService
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def served_index(dblp):
+    return HopiIndex.build(
+        dblp, strategy="recursive", partitioner="node_weight",
+        partition_limit=max(dblp.num_elements // 16, 1),
+        backend="arrays",
+    )
+
+
+@pytest.fixture(scope="module")
+def query_mix(dblp):
+    paths = service_query_mix(dblp)
+    assert paths
+    return paths
+
+
+def test_cold_vs_cached(benchmark, served_index, query_mix):
+    result = benchmark.pedantic(
+        lambda: run_cold_vs_cached(served_index, query_mix),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(result)
+    assert result["speedup"] > 1.0
+
+
+def test_closed_loop_four_threads(benchmark, served_index, query_mix):
+    def run():
+        service = QueryService(served_index.copy())
+        return run_closed_loop(
+            service, query_mix, threads=4, requests_per_thread=200
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        rps=row.throughput_rps, p99_ms=row.p99_ms, hit_rate=row.hit_rate
+    )
+    assert row.errors == 0
+
+
+def test_hot_swap_under_load(served_index, query_mix):
+    """Zero failed requests, zero torn answers — always enforced."""
+    service = QueryService(served_index.copy())
+    result = run_hot_swap_under_load(
+        service, query_mix, threads=4, requests_per_thread=200, updates=3
+    )
+    assert result.updates == 3
+    assert result.errors == 0
+    assert result.torn == 0
+    # readers must have crossed epochs (the swap happened under load)
+    assert len(result.epochs_observed) >= 2
+
+
+def test_service_benchmark_records_trajectory(dblp):
+    """The full serving-tier run; acceptance bars under RECORD=1."""
+    result = run_service_benchmark(dblp, requests_per_thread=200, updates=3)
+    assert result["hot_swap"]["errors"] == 0
+    assert result["hot_swap"]["torn"] == 0
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        entry = emit_bench_service_entry(
+            result, path=REPO_ROOT / "BENCH_service.json"
+        )
+        assert entry["cold_vs_cached"]["speedup"] >= 10.0, entry
+        assert entry["throughput_scaling_4v1"] >= 2.0, entry

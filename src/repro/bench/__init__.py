@@ -16,8 +16,16 @@ from repro.bench.harness import (
     run_table2,
 )
 from repro.bench.reporting import format_table, print_table
+from repro.bench.service_load import (
+    emit_bench_service_entry,
+    run_service_benchmark,
+    service_query_mix,
+)
 
 __all__ = [
+    "emit_bench_service_entry",
+    "run_service_benchmark",
+    "service_query_mix",
     "bench_dblp",
     "bench_inex",
     "workload_scale",

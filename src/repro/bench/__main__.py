@@ -1,10 +1,15 @@
-"""Regenerate every Section-7 experiment: ``python -m repro.bench``.
+"""Regenerate the paper's experiments and the serving-tier benchmark.
 
-Prints each table at the configured scale (see ``REPRO_BENCH_SCALE``)
+``python -m repro.bench`` runs the Section-7 suite (the default);
+``python -m repro.bench service`` drives the serving tier under
+concurrent load and appends to ``BENCH_service.json``; ``all`` runs
+both. Tables print at the configured scale (see ``REPRO_BENCH_SCALE``)
 next to the paper's reference values where applicable.
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.bench.harness import (
     PAPER_TABLE2,
@@ -20,12 +25,73 @@ from repro.bench.harness import (
     run_table2,
 )
 from repro.bench.reporting import print_table
+from repro.bench.service_load import (
+    emit_bench_service_entry,
+    run_service_benchmark,
+)
 from repro.bench.workloads import bench_dblp, bench_inex, workload_scale
 from repro.core.hopi import HopiIndex
 from repro.core.stats import entries_per_node
 
 
-def main() -> None:
+def run_service_suite() -> None:
+    """The serving-tier benchmark (appended to BENCH_service.json)."""
+    print(f"HOPI serving-tier benchmark (scale {workload_scale()}x)\n")
+    result = run_service_benchmark()
+    entry = emit_bench_service_entry(result)
+
+    cold = result["cold_vs_cached"]
+    print_table(
+        ["cold ms/q", "cached ms/q", "speedup"],
+        [(round(cold["cold_ms_per_query"], 3),
+          round(cold["cached_ms_per_query"], 4),
+          round(cold["speedup"], 1))],
+        title="Result cache: cold vs repeat evaluation",
+    )
+
+    print_table(
+        ["threads", "requests", "errors", "rps", "p50 ms", "p95 ms",
+         "p99 ms", "hit rate"],
+        [
+            (
+                row["threads"], row["requests"], row["errors"],
+                round(row["throughput_rps"]), round(row["p50_ms"], 3),
+                round(row["p95_ms"], 3), round(row["p99_ms"], 3),
+                round(row["hit_rate"], 3) if row["hit_rate"] is not None else "-",
+            )
+            for row in result["closed_loop"]
+        ],
+        title=(
+            "Closed-loop load "
+            f"(4-thread vs 1-thread throughput: "
+            f"{round(result['throughput_scaling_4v1'], 2)}x)"
+        ),
+    )
+
+    open_row = result["open_loop"]
+    print_table(
+        ["threads", "requests", "offered rps", "measured rps", "p50 ms",
+         "p95 ms", "p99 ms"],
+        [(open_row["threads"], open_row["requests"],
+          round(open_row["offered_rps"]), round(open_row["throughput_rps"]),
+          round(open_row["p50_ms"], 3), round(open_row["p95_ms"], 3),
+          round(open_row["p99_ms"], 3))],
+        title="Open-loop load (latency from scheduled arrival)",
+    )
+
+    swap = result["hot_swap"]
+    print_table(
+        ["updates", "requests", "errors", "torn", "epochs", "avg swap s"],
+        [(swap["updates"], swap["requests"], swap["errors"], swap["torn"],
+          len(swap["epochs_observed"]), round(swap["update_seconds_avg"], 4))],
+        title="Hot swap under sustained 4-thread querying "
+              "(errors and torn must be 0; appended to BENCH_service.json)",
+    )
+    assert swap["errors"] == 0, "hot swap produced failed requests"
+    assert swap["torn"] == 0, "hot swap produced torn answers"
+
+
+def run_paper_suite() -> None:
     print(f"HOPI experiment harness (scale {workload_scale()}x)\n")
 
     # ---- Table 1 -------------------------------------------------------
@@ -158,6 +224,23 @@ def main() -> None:
             "appended to BENCH_query.json)"
         ),
     )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="HOPI benchmarks: the paper's Section-7 suite and "
+                    "the serving-tier load generator",
+    )
+    parser.add_argument(
+        "suite", nargs="?", default="paper", choices=["paper", "service", "all"],
+        help="which benchmark suite to run (default: paper)",
+    )
+    args = parser.parse_args()
+    if args.suite in ("paper", "all"):
+        run_paper_suite()
+    if args.suite in ("service", "all"):
+        run_service_suite()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,452 @@
+"""Load generator for the serving tier (``BENCH_service.json``).
+
+Drives :class:`repro.service.QueryService` the way a search front end
+would — many concurrent clients with overlapping working sets — and
+records the serving-tier trajectory:
+
+* **cold vs cached**: per-query latency of first evaluation vs repeat
+  (the result cache's whole point);
+* **closed loop**: every client thread issues requests back-to-back
+  from a shared descendant-step query mix; throughput and p50/p95/p99
+  latency at 1/4/16 threads plus cache hit rate. Because overlapping
+  clients share the ``(path, epoch)`` result cache and in-flight
+  coalescing, aggregate throughput scales with client count even under
+  the GIL — cache hits cost microseconds and never serialise on the
+  evaluator;
+* **open loop**: requests arrive on a fixed schedule regardless of
+  completions; latency is measured from the *scheduled* arrival, so
+  queueing delay is charged to the service (the metric an SLA cares
+  about);
+* **hot swap under load**: ``/update`` batches hot-swap the index while
+  sustained querying runs; the run fails any request error and any
+  torn answer (two different result sets observed for one
+  ``(path, epoch)``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.workloads import bench_dblp
+from repro.core.hopi import HopiIndex
+from repro.query.engine import QueryEngine
+from repro.service.service import QueryService
+from repro.xmlmodel.model import Collection
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 < f <= 1)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(fraction * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+def service_query_mix(collection: Collection, *, max_paths: int = 8) -> List[str]:
+    """A descendant-step query mix over the collection's frequent tags.
+
+    Pairs the root tags (documents' entry points) with the most frequent
+    element tags — the ``//a//b`` shape whose descendant step is the
+    engine's hot path. Only paths with at least one match survive, so
+    the mix measures real evaluation work.
+    """
+    tag_index = collection.tags()
+    root_tags = sorted(
+        {collection.elements[d.root].tag for d in collection.documents.values()}
+    )
+    frequent = [
+        tag for tag, _ in sorted(
+            tag_index.items(), key=lambda kv: (-len(kv[1]), kv[0])
+        )
+    ]
+    paths = []
+    for root_tag in root_tags:
+        for tag in frequent:
+            if tag != root_tag:
+                paths.append(f"//{root_tag}//{tag}")
+    return paths[:max_paths]
+
+
+@dataclass
+class LoadRow:
+    """One closed- or open-loop measurement.
+
+    ``throughput_rps`` is always the *measured* completion rate; in open
+    loop the configured arrival rate is reported separately as
+    ``offered_rps`` so saturation (measured < offered) is visible in the
+    trajectory instead of silently misrecorded.
+    """
+
+    mode: str
+    threads: int
+    requests: int
+    errors: int
+    seconds: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    hit_rate: Optional[float] = None
+    offered_rps: Optional[float] = None
+
+
+def _run_clients(
+    n_threads: int,
+    worker,
+) -> Tuple[List[float], List[BaseException], float]:
+    """Start ``n_threads`` running ``worker(thread_idx, latencies, errors)``
+    behind a barrier; returns merged latencies, errors, wall seconds."""
+    latencies: List[List[float]] = [[] for _ in range(n_threads)]
+    errors: List[BaseException] = []
+    errors_lock = threading.Lock()
+    barrier = threading.Barrier(n_threads + 1)
+
+    def run(idx: int) -> None:
+        barrier.wait()
+        try:
+            worker(idx, latencies[idx])
+        except BaseException as exc:  # noqa: BLE001 - recorded, not dropped
+            with errors_lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,), daemon=True)
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    merged = [x for sub in latencies for x in sub]
+    return merged, errors, wall
+
+
+def run_closed_loop(
+    service: QueryService,
+    paths: Sequence[str],
+    *,
+    threads: int,
+    requests_per_thread: int,
+) -> LoadRow:
+    """Closed loop: each thread issues ``requests_per_thread`` queries
+    back-to-back, round-robin over the shared mix (all threads walk the
+    same sequence — overlapping working sets, the serving-tier case)."""
+    hits0 = service.stats()["result_cache"]
+
+    def worker(idx: int, lat: List[float]) -> None:
+        for i in range(requests_per_thread):
+            t0 = time.perf_counter()
+            service.query(paths[i % len(paths)])
+            lat.append(time.perf_counter() - t0)
+
+    merged, errors, wall = _run_clients(threads, worker)
+    hits1 = service.stats()["result_cache"]
+    lookups = (hits1["hits"] - hits0["hits"]) + (hits1["misses"] - hits0["misses"])
+    merged.sort()
+    return LoadRow(
+        mode="closed",
+        threads=threads,
+        requests=len(merged),
+        errors=len(errors),
+        seconds=wall,
+        throughput_rps=len(merged) / wall if wall > 0 else 0.0,
+        p50_ms=percentile(merged, 0.50) * 1e3,
+        p95_ms=percentile(merged, 0.95) * 1e3,
+        p99_ms=percentile(merged, 0.99) * 1e3,
+        hit_rate=(hits1["hits"] - hits0["hits"]) / lookups if lookups else None,
+    )
+
+
+def run_open_loop(
+    service: QueryService,
+    paths: Sequence[str],
+    *,
+    threads: int = 8,
+    rate_rps: float = 2000.0,
+    total_requests: int = 1000,
+) -> LoadRow:
+    """Open loop: arrivals on a fixed schedule, latency charged from the
+    scheduled arrival time (queueing delay included)."""
+    next_idx = [0]
+    idx_lock = threading.Lock()
+    start_at = time.perf_counter() + 0.05  # let all workers reach the loop
+
+    def worker(idx: int, lat: List[float]) -> None:
+        while True:
+            with idx_lock:
+                i = next_idx[0]
+                if i >= total_requests:
+                    return
+                next_idx[0] += 1
+            scheduled = start_at + i / rate_rps
+            now = time.perf_counter()
+            if scheduled > now:
+                time.sleep(scheduled - now)
+            service.query(paths[i % len(paths)])
+            lat.append(time.perf_counter() - scheduled)
+
+    merged, errors, wall = _run_clients(threads, worker)
+    merged.sort()
+    return LoadRow(
+        mode="open",
+        threads=threads,
+        requests=len(merged),
+        errors=len(errors),
+        seconds=wall,
+        throughput_rps=len(merged) / wall if wall > 0 else 0.0,
+        p50_ms=percentile(merged, 0.50) * 1e3,
+        p95_ms=percentile(merged, 0.95) * 1e3,
+        p99_ms=percentile(merged, 0.99) * 1e3,
+        offered_rps=rate_rps,
+    )
+
+
+def run_cold_vs_cached(
+    index: HopiIndex, paths: Sequence[str], **service_kwargs
+) -> Dict[str, float]:
+    """First-evaluation vs repeat latency on a fresh service."""
+    service = QueryService(index.copy(), **service_kwargs)
+    cold = 0.0
+    cached = 0.0
+    for path in paths:
+        t0 = time.perf_counter()
+        response = service.query(path)
+        cold += time.perf_counter() - t0
+        assert response.source == "computed"
+        t0 = time.perf_counter()
+        response = service.query(path)
+        cached += time.perf_counter() - t0
+        assert response.source == "hit"
+    n = len(paths)
+    return {
+        "cold_ms_per_query": cold / n * 1e3,
+        "cached_ms_per_query": cached / n * 1e3,
+        "speedup": cold / cached if cached > 0 else float("inf"),
+    }
+
+
+@dataclass
+class HotSwapResult:
+    """Outcome of the update-under-sustained-load segment."""
+
+    updates: int
+    requests: int
+    errors: int
+    torn: int
+    epochs_observed: List[int] = field(default_factory=list)
+    update_seconds_avg: float = 0.0
+
+
+def run_hot_swap_under_load(
+    service: QueryService,
+    paths: Sequence[str],
+    *,
+    threads: int = 4,
+    requests_per_thread: int = 400,
+    updates: int = 5,
+) -> HotSwapResult:
+    """Hot-swap ``updates`` maintenance batches while ``threads`` readers
+    query at full speed.
+
+    Overlap is guaranteed by construction: the writer waits for the
+    first reader request before its first update, every update batch is
+    applied (never cancelled), and readers issue at least
+    ``requests_per_thread`` requests each *and* keep querying until the
+    last batch has swapped in — so every swap lands under live traffic.
+
+    Failure conditions counted (both must be zero for acceptance):
+    * any reader request raising;
+    * a *torn* answer — a result set that differs from an **independent
+      per-epoch oracle** (the update sequence replayed offline, each
+      epoch evaluated with a plain engine). Comparing against the
+      oracle, not just across readers, keeps the check meaningful even
+      though same-epoch readers share one cached result list.
+    """
+    # ---- the deterministic update sequence, shared with the writer
+    roots = sorted(d.root for d in service.index.collection.documents.values())
+    base_epoch = service.epoch
+
+    def batch_for(i: int) -> List[Dict[str, object]]:
+        return [{"op": "insert_element", "parent": roots[i % len(roots)],
+                 "tag": "benchnote"}]
+
+    def sig_of(results) -> Tuple:
+        return tuple((r.target, round(r.score, 12)) for r in results)
+
+    # ---- per-epoch oracles via offline replay (no service caches)
+    oracle: Dict[int, Dict[str, Tuple]] = {}
+    replica = service.index.copy()
+    for i in range(updates + 1):
+        if i > 0:
+            op = batch_for(i - 1)[0]
+            replica.insert_element(op["parent"], op["tag"])
+        engine = QueryEngine(replica, max_results=service.max_results)
+        oracle[base_epoch + i] = {p: sig_of(engine.evaluate(p)) for p in paths}
+
+    observed: Dict[Tuple[str, int], set] = {}
+    observed_lock = threading.Lock()
+    readers_started = threading.Event()
+    writer_done = threading.Event()
+
+    def worker(idx: int, lat: List[float]) -> None:
+        i = 0
+        # run the minimum, then finish full cycles until the writer is
+        # done (safety-capped so a stuck writer cannot hang the bench)
+        while (
+            i < requests_per_thread
+            or not writer_done.is_set()
+            or i % len(paths) != 0
+        ):
+            path = paths[i % len(paths)]
+            i += 1
+            t0 = time.perf_counter()
+            response = service.query(path)
+            lat.append(time.perf_counter() - t0)
+            readers_started.set()
+            with observed_lock:
+                observed.setdefault((path, response.epoch), set()).add(
+                    sig_of(response.results)
+                )
+            if i >= requests_per_thread * 50:  # pragma: no cover - safety net
+                break
+
+    update_seconds: List[float] = []
+
+    def writer() -> None:
+        readers_started.wait(timeout=30)
+        try:
+            for i in range(updates):
+                t0 = time.perf_counter()
+                service.update(batch_for(i))
+                update_seconds.append(time.perf_counter() - t0)
+                time.sleep(0.005)
+        finally:
+            writer_done.set()
+
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    writer_thread.start()
+    merged, errors, _ = _run_clients(threads, worker)
+    writer_thread.join()
+
+    # torn = any observed answer diverging from its epoch's oracle (or a
+    # same-key disagreement, which the shared cache makes near-impossible
+    # but costs nothing to keep checking)
+    torn = 0
+    for (path, epoch), sigs in observed.items():
+        expected = oracle.get(epoch, {}).get(path)
+        if expected is None or sigs != {expected}:
+            torn += 1
+    return HotSwapResult(
+        updates=len(update_seconds),
+        requests=len(merged),
+        errors=len(errors),
+        torn=torn,
+        epochs_observed=sorted({epoch for (_, epoch) in observed}),
+        update_seconds_avg=(
+            sum(update_seconds) / len(update_seconds) if update_seconds else 0.0
+        ),
+    )
+
+
+def run_service_benchmark(
+    collection: Optional[Collection] = None,
+    *,
+    backend: str = "arrays",
+    thread_counts: Sequence[int] = (1, 4, 16),
+    requests_per_thread: int = 400,
+    updates: int = 5,
+) -> Dict[str, object]:
+    """The full serving-tier benchmark; one ``BENCH_service.json`` entry."""
+    collection = collection or bench_dblp()
+    index = HopiIndex.build(
+        collection,
+        strategy="recursive",
+        partitioner="node_weight",
+        partition_limit=max(collection.num_elements // 16, 1),
+        backend=backend,
+    )
+    paths = service_query_mix(collection)
+
+    cold = run_cold_vs_cached(index, paths)
+
+    closed: List[LoadRow] = []
+    for n in thread_counts:
+        service = QueryService(index.copy())
+        closed.append(
+            run_closed_loop(
+                service, paths, threads=n, requests_per_thread=requests_per_thread
+            )
+        )
+
+    open_service = QueryService(index.copy())
+    open_row = run_open_loop(open_service, paths)
+
+    swap_service = QueryService(index.copy())
+    hot_swap = run_hot_swap_under_load(
+        swap_service, paths, threads=4,
+        requests_per_thread=requests_per_thread, updates=updates,
+    )
+
+    by_threads = {row.threads: row for row in closed}
+    scaling = None
+    if 1 in by_threads and 4 in by_threads:
+        base = by_threads[1].throughput_rps
+        scaling = by_threads[4].throughput_rps / base if base > 0 else None
+
+    return {
+        "collection": "DBLP",
+        "backend": backend,
+        "query_mix": list(paths),
+        "cold_vs_cached": cold,
+        "closed_loop": [asdict(row) for row in closed],
+        "throughput_scaling_4v1": scaling,
+        "open_loop": asdict(open_row),
+        "hot_swap": asdict(hot_swap),
+    }
+
+
+def default_service_trajectory_path() -> Path:
+    """``BENCH_service.json`` at the repo root when running from a
+    checkout (anchored by ROADMAP.md), else the current directory."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "ROADMAP.md").exists():
+        return candidate / "BENCH_service.json"
+    return Path("BENCH_service.json")
+
+
+def emit_bench_service_entry(
+    result: Dict[str, object],
+    *,
+    path: Union[str, Path, None] = None,
+) -> Dict[str, object]:
+    """Append one entry to the ``BENCH_service.json`` trajectory."""
+    if path is None:
+        path = default_service_trajectory_path()
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **result,
+    }
+    path = Path(path)
+    history: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            history = loaded if isinstance(loaded, list) else [loaded]
+        except ValueError:
+            backup = path.with_suffix(path.suffix + ".corrupt")
+            backup.write_bytes(path.read_bytes())
+            print(
+                f"warning: {path} is not valid JSON; saved as {backup} "
+                "and started a fresh trajectory"
+            )
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return entry

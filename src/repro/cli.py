@@ -16,6 +16,10 @@ Usage (also via ``python -m repro``)::
     # incremental maintenance on the persisted index
     python -m repro delete-doc index.db dblp42
 
+    # serve the index over HTTP (concurrent queries, result caching,
+    # zero-downtime /update hot-swap)
+    python -m repro serve index.db --port 8080 --backend arrays
+
 Documents are identified by file stem; XLink ``href`` attributes resolve
 to links exactly as in :func:`repro.xmlmodel.parser.load_collection`.
 """
@@ -155,6 +159,36 @@ def cmd_delete_doc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryService, make_server
+
+    index = load_index(args.index, backend=args.backend)
+    service = QueryService(
+        index,
+        max_results=args.max_results,
+        result_cache_size=args.result_cache,
+        probe_cache_size=args.probe_cache,
+    )
+    server = make_server(service, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.index} on http://{host}:{port} "
+        f"(backend={index.backend}, epoch={service.epoch})",
+        flush=True,
+    )
+    try:
+        if args.max_requests is not None:
+            for _ in range(args.max_requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     index.verify()
@@ -215,6 +249,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--closure", action="store_true",
                    help="also materialise the closure for the compression ratio")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a persisted index over HTTP "
+             "(/query /count /connected /distance /update /stats)",
+    )
+    p.add_argument("index")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listening port (0 picks an ephemeral port)")
+    p.add_argument("--backend", default=None, choices=["sets", "arrays"],
+                   help="label backend to serve from (default: as built; "
+                        "'arrays' is the fast descendant-step path)")
+    p.add_argument("--max-results", type=int, default=1000)
+    p.add_argument("--result-cache", type=int, default=4096,
+                   help="entries in the (path, epoch) result LRU")
+    p.add_argument("--probe-cache", type=int, default=8192,
+                   help="per-epoch descendant-probe LRU entries")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="exit after accepting N connections (smoke tests/CI)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log one line per request")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("delete-doc", help="incrementally delete a document")
     p.add_argument("index")

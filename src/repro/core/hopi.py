@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set, Union
+from typing import Callable, Dict, List, Optional, Set, Union
 
 from repro.core import maintenance as maint
 from repro.core.array_cover import ArrayDistanceCover, ArrayTwoHopCover
@@ -140,6 +140,44 @@ class HopiIndex:
         self.collection = collection
         self.cover = cover
         self.stats = stats
+        #: monotone change counter: bumped once per completed maintenance
+        #: operation (and per rebuild). The service layer keys caches by
+        #: it and uses it as the published version of a hot-swapped index.
+        self.epoch = 0
+        self._change_hooks: List[Callable[["HopiIndex", Optional[maint.MaintenanceReport]], None]] = []
+
+    # ------------------------------------------------------------------
+    # change tracking
+    # ------------------------------------------------------------------
+    def add_change_hook(
+        self, hook: Callable[["HopiIndex", Optional[maint.MaintenanceReport]], None]
+    ) -> None:
+        """Register ``hook(index, report)`` to fire after every
+        maintenance operation and rebuild (``report`` is ``None`` for
+        rebuilds). Hooks run on the mutating thread, after the cover and
+        collection are consistent again and the epoch has been bumped."""
+        self._change_hooks.append(hook)
+
+    def remove_change_hook(self, hook) -> None:
+        self._change_hooks.remove(hook)
+
+    def _bump_epoch_hook(self, report: Optional[maint.MaintenanceReport]) -> None:
+        self.epoch += 1
+        for hook in self._change_hooks:
+            hook(self, report)
+
+    def copy(self) -> "HopiIndex":
+        """A structurally independent copy (shadow) of the index.
+
+        Collection and cover are deep-copied; maintenance on the copy
+        never touches the original — the basis of the service layer's
+        epoch-based hot-swap (writers mutate a shadow, readers keep the
+        published index). The copy starts with the same epoch and no
+        change hooks.
+        """
+        dup = HopiIndex(self.collection.copy(), self.cover.copy(), stats=self.stats)
+        dup.epoch = self.epoch
+        return dup
 
     @property
     def backend(self) -> str:
@@ -152,7 +190,9 @@ class HopiIndex:
         if converted is self.cover:
             return self
         stats = replace(self.stats, backend=backend) if self.stats else None
-        return HopiIndex(self.collection, converted, stats=stats)
+        twin = HopiIndex(self.collection, converted, stats=stats)
+        twin.epoch = self.epoch
+        return twin
 
     # ------------------------------------------------------------------
     # construction
@@ -384,23 +424,35 @@ class HopiIndex:
     # maintenance passthroughs (Section 6)
     # ------------------------------------------------------------------
     def insert_element(self, parent: ElementId, tag: str) -> ElementId:
-        return maint.insert_element(self.collection, self.cover, parent, tag)
+        return maint.insert_element(
+            self.collection, self.cover, parent, tag, on_change=self._bump_epoch_hook
+        )
 
     def insert_edge(self, u: ElementId, v: ElementId) -> maint.MaintenanceReport:
-        return maint.insert_edge(self.collection, self.cover, u, v)
+        return maint.insert_edge(
+            self.collection, self.cover, u, v, on_change=self._bump_epoch_hook
+        )
 
     def insert_document(self, doc_id: DocId) -> maint.MaintenanceReport:
-        return maint.insert_document(self.collection, self.cover, doc_id)
+        return maint.insert_document(
+            self.collection, self.cover, doc_id, on_change=self._bump_epoch_hook
+        )
 
     def delete_document(
         self, doc_id: DocId, *, force_general: bool = False
     ) -> maint.MaintenanceReport:
         return maint.delete_document(
-            self.collection, self.cover, doc_id, force_general=force_general
+            self.collection,
+            self.cover,
+            doc_id,
+            force_general=force_general,
+            on_change=self._bump_epoch_hook,
         )
 
     def delete_edge(self, u: ElementId, v: ElementId) -> maint.MaintenanceReport:
-        return maint.delete_edge(self.collection, self.cover, u, v)
+        return maint.delete_edge(
+            self.collection, self.cover, u, v, on_change=self._bump_epoch_hook
+        )
 
     def document_separates(self, doc_id: DocId) -> bool:
         return maint.document_separates(self.collection, doc_id)
@@ -422,6 +474,7 @@ class HopiIndex:
         fresh = HopiIndex.build(self.collection, **build_kwargs)
         self.cover = fresh.cover
         self.stats = fresh.stats
+        self._bump_epoch_hook(None)
         return self
 
     # ------------------------------------------------------------------

@@ -65,6 +65,20 @@ class MaintenanceReport:
     seconds: float = 0.0
 
 
+#: Signature of the ``on_change`` hook every maintenance op accepts:
+#: called exactly once per completed operation, with its report, before
+#: the op returns. :class:`repro.core.hopi.HopiIndex` threads its epoch
+#: counter through this, and the service layer uses the epoch to
+#: invalidate caches and publish hot-swapped indexes.
+ChangeHook = Callable[[MaintenanceReport], None]
+
+
+def _notify(on_change: Optional[ChangeHook], report: MaintenanceReport) -> MaintenanceReport:
+    if on_change is not None:
+        on_change(report)
+    return report
+
+
 def _is_distance(cover: Cover) -> bool:
     # protocol attribute, not isinstance: array-backed covers qualify too
     return cover.is_distance_aware
@@ -76,7 +90,12 @@ def _is_distance(cover: Cover) -> bool:
 
 
 def insert_element(
-    collection: Collection, cover: Cover, parent: ElementId, tag: str
+    collection: Collection,
+    cover: Cover,
+    parent: ElementId,
+    tag: str,
+    *,
+    on_change: Optional[ChangeHook] = None,
 ) -> ElementId:
     """Insert a new element under ``parent`` and its tree edge.
 
@@ -85,7 +104,14 @@ def insert_element(
     """
     element = collection.add_child(parent, tag)
     cover.add_node(element.eid)
-    insert_edge(collection, cover, parent, element.eid, _already_in_collection=True)
+    insert_edge(
+        collection,
+        cover,
+        parent,
+        element.eid,
+        _already_in_collection=True,
+        on_change=on_change,
+    )
     return element.eid
 
 
@@ -96,6 +122,7 @@ def insert_edge(
     v: ElementId,
     *,
     _already_in_collection: bool = False,
+    on_change: Optional[ChangeHook] = None,
 ) -> MaintenanceReport:
     """Insert the edge/link ``u -> v`` (Section 6.1, Figure 2).
 
@@ -113,10 +140,13 @@ def insert_edge(
         insert_link_distance(cover, u, v)
     else:
         insert_link(cover, u, v)
-    return MaintenanceReport(
-        operation="insert_edge",
-        entries_delta=cover.size - before,
-        seconds=time.perf_counter() - start,
+    return _notify(
+        on_change,
+        MaintenanceReport(
+            operation="insert_edge",
+            entries_delta=cover.size - before,
+            seconds=time.perf_counter() - start,
+        ),
     )
 
 
@@ -124,6 +154,8 @@ def insert_document(
     collection: Collection,
     cover: Cover,
     doc_id: DocId,
+    *,
+    on_change: Optional[ChangeHook] = None,
 ) -> MaintenanceReport:
     """Integrate a document already present in the collection.
 
@@ -155,10 +187,13 @@ def insert_document(
             insert_link_distance(cover, u, v)
         else:
             insert_link(cover, u, v)
-    return MaintenanceReport(
-        operation="insert_document",
-        entries_delta=cover.size - before,
-        seconds=time.perf_counter() - start,
+    return _notify(
+        on_change,
+        MaintenanceReport(
+            operation="insert_document",
+            entries_delta=cover.size - before,
+            seconds=time.perf_counter() - start,
+        ),
     )
 
 
@@ -320,6 +355,7 @@ def delete_document(
     doc_id: DocId,
     *,
     force_general: bool = False,
+    on_change: Optional[ChangeHook] = None,
 ) -> MaintenanceReport:
     """Delete a document and update the cover incrementally (Section 6.2).
 
@@ -333,11 +369,14 @@ def delete_document(
     separating = not force_general and document_separates(collection, doc_id)
     if separating:
         _delete_document_separating(collection, cover, doc_id)
-        return MaintenanceReport(
-            operation="delete_document",
-            separating=True,
-            entries_delta=cover.size - before,
-            seconds=time.perf_counter() - start,
+        return _notify(
+            on_change,
+            MaintenanceReport(
+                operation="delete_document",
+                separating=True,
+                entries_delta=cover.size - before,
+                seconds=time.perf_counter() - start,
+            ),
         )
     # ---- Theorem 3: partial recomputation -----------------------------
     v_di: Set[ElementId] = set(collection.elements_of(doc_id))
@@ -348,12 +387,15 @@ def delete_document(
     seeds = a_di - v_di
     fresh, region_size = _rebuild_region(collection, cover, seeds)
     _splice_fresh_cover(cover, fresh, a_di - v_di, d_di - v_di)
-    return MaintenanceReport(
-        operation="delete_document",
-        separating=False,
-        entries_delta=cover.size - before,
-        recovered_region_size=region_size,
-        seconds=time.perf_counter() - start,
+    return _notify(
+        on_change,
+        MaintenanceReport(
+            operation="delete_document",
+            separating=False,
+            entries_delta=cover.size - before,
+            recovered_region_size=region_size,
+            seconds=time.perf_counter() - start,
+        ),
     )
 
 
@@ -362,6 +404,8 @@ def delete_edge(
     cover: Cover,
     u: ElementId,
     v: ElementId,
+    *,
+    on_change: Optional[ChangeHook] = None,
 ) -> MaintenanceReport:
     """Delete the edge/link ``u -> v`` ("a similar algorithm can be
     applied for deleting a single edge", Section 6.2).
@@ -388,22 +432,28 @@ def delete_edge(
     collection.remove_link(u, v)
     graph = collection.element_graph()
     if not _is_distance(cover) and is_reachable(graph, u, v):
-        return MaintenanceReport(
-            operation="delete_edge",
-            separating=True,  # "separating" here: removal was absorbed
-            entries_delta=0,
-            seconds=time.perf_counter() - start,
+        return _notify(
+            on_change,
+            MaintenanceReport(
+                operation="delete_edge",
+                separating=True,  # "separating" here: removal was absorbed
+                entries_delta=0,
+                seconds=time.perf_counter() - start,
+            ),
         )
     a_e = cover.ancestors(u)  # includes u
     d_e = cover.descendants(v)  # includes v
     fresh, region_size = _rebuild_region(collection, cover, a_e)
     _splice_fresh_cover(cover, fresh, a_e, d_e)
-    return MaintenanceReport(
-        operation="delete_edge",
-        separating=False,
-        entries_delta=cover.size - before,
-        recovered_region_size=region_size,
-        seconds=time.perf_counter() - start,
+    return _notify(
+        on_change,
+        MaintenanceReport(
+            operation="delete_edge",
+            separating=False,
+            entries_delta=cover.size - before,
+            recovered_region_size=region_size,
+            seconds=time.perf_counter() - start,
+        ),
     )
 
 
@@ -412,9 +462,14 @@ def modify_document(
     cover: Cover,
     doc_id: DocId,
     rebuild: Callable[[Collection], None],
+    *,
+    on_change: Optional[ChangeHook] = None,
 ) -> MaintenanceReport:
     """Modify a document (Section 6.3): drop it and reinsert the new
     version.
+
+    The hook fires once for the whole modification, not for the inner
+    delete/insert pair — a modification is one logical change.
 
     Args:
         collection: the collection.
@@ -428,9 +483,12 @@ def modify_document(
     delete_document(collection, cover, doc_id)
     rebuild(collection)
     report = insert_document(collection, cover, doc_id)
-    return MaintenanceReport(
-        operation="modify_document",
-        entries_delta=cover.size - before,
-        recovered_region_size=report.recovered_region_size,
-        seconds=time.perf_counter() - start,
+    return _notify(
+        on_change,
+        MaintenanceReport(
+            operation="modify_document",
+            entries_delta=cover.size - before,
+            recovered_region_size=report.recovered_region_size,
+            seconds=time.perf_counter() - start,
+        ),
     )

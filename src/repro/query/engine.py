@@ -25,12 +25,24 @@ away from a book element should be ranked lower" (Section 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.hopi import HopiIndex
 from repro.query.ontology import TagOntology, default_ontology
 from repro.query.pathexpr import PathExpression, Step, parse_path
 from repro.xmlmodel.model import ElementId
+
+#: Identity of a step's candidate list: ``(tag, similar)``. Two steps
+#: with the same key select the same candidates (wildcards use ``"*"``),
+#: which is what makes candidate memoization and cross-query probe
+#: caching sound.
+StepKey = Tuple[str, bool]
+
+#: A descendant-step probe: ``probe(source, step_key, candidates)``
+#: returns the indices into ``candidates`` reachable from ``source``.
+#: The default computes via ``index.connected_many``; the service layer
+#: substitutes a per-epoch, cross-thread coalescing cache.
+Probe = Callable[[ElementId, StepKey, Sequence[ElementId]], List[int]]
 
 
 @dataclass(frozen=True)
@@ -52,7 +64,16 @@ class QueryResult:
 
 
 class QueryEngine:
-    """Path-expression evaluation over a :class:`HopiIndex`."""
+    """Path-expression evaluation over a :class:`HopiIndex`.
+
+    Evaluation is **re-entrant**: :meth:`evaluate` and :meth:`count`
+    mutate no instance state beyond a benign candidate-memo fill, so one
+    engine can serve many threads at once — the service layer keeps a
+    single engine per published index epoch and lets every reader share
+    its tag index and candidate memo. Both methods also take an explicit
+    ``index`` so pooled engines (e.g. one per label backend over the
+    same collection) can share one engine's derived state.
+    """
 
     def __init__(
         self,
@@ -68,47 +89,91 @@ class QueryEngine:
         self.similarity_threshold = similarity_threshold
         self.max_results = max_results
         self._tag_index: Dict[str, List[ElementId]] = self.collection.tags()
+        # per-(tag, similar) candidate memo; concurrent fills of the same
+        # key compute the same value, so the race is benign under the GIL
+        self._candidate_memo: Dict[StepKey, List[Tuple[ElementId, float]]] = {}
 
     def refresh(self) -> None:
-        """Rebuild the tag index after collection maintenance."""
+        """Rebuild the tag index (and drop the candidate memo) after
+        collection maintenance."""
         self._tag_index = self.collection.tags()
+        self._candidate_memo = {}
 
     # ------------------------------------------------------------------
     def _candidates(self, step: Step) -> List[Tuple[ElementId, float]]:
-        """Elements matching a step's element test with their tag score."""
+        """Elements matching a step's element test with their tag score.
+
+        Memoized per ``(tag, similar)``: a path like ``//a//b//a`` (or a
+        workload of many queries sharing element tests) computes each
+        candidate list once per :meth:`refresh` generation. Callers must
+        not mutate the returned list.
+        """
+        key: StepKey = (step.tag, step.similar)
+        memo = self._candidate_memo.get(key)
+        if memo is not None:
+            return memo
         if step.tag == "*":
-            return [
+            matches = [
                 (e, 1.0) for ids in self._tag_index.values() for e in ids
             ]
-        if not step.similar:
-            return [(e, 1.0) for e in self._tag_index.get(step.tag, [])]
-        matches: List[Tuple[ElementId, float]] = []
-        for tag, score in self.ontology.similar_tags(
-            step.tag, self._tag_index.keys(), threshold=self.similarity_threshold
-        ):
-            matches.extend((e, score) for e in self._tag_index[tag])
+        elif not step.similar:
+            matches = [(e, 1.0) for e in self._tag_index.get(step.tag, [])]
+        else:
+            matches = []
+            for tag, score in self.ontology.similar_tags(
+                step.tag, self._tag_index.keys(), threshold=self.similarity_threshold
+            ):
+                matches.extend((e, score) for e in self._tag_index[tag])
+        self._candidate_memo[key] = matches
         return matches
 
-    def _hop_score(self, u: ElementId, v: ElementId) -> float:
+    def _hop_score(self, index: HopiIndex, u: ElementId, v: ElementId) -> float:
         """Distance discount of a descendant hop (1.0 without distances)."""
-        if not self.index.is_distance_aware:
+        if not index.is_distance_aware:
             return 1.0
-        dist = self.index.distance(u, v)
+        dist = index.distance(u, v)
         if dist is None:  # pragma: no cover - guarded by connected()
             return 0.0
         return 1.0 / (1.0 + dist)
 
-    def evaluate(self, path: "str | PathExpression") -> List[QueryResult]:
+    def _reachable(
+        self,
+        index: HopiIndex,
+        probe: Optional[Probe],
+        source: ElementId,
+        step_key: StepKey,
+        cand_elems: Sequence[ElementId],
+    ) -> List[int]:
+        """Indices of ``cand_elems`` reachable from ``source``."""
+        if probe is not None:
+            return probe(source, step_key, cand_elems)
+        flags = index.connected_many(source, cand_elems)
+        return [i for i, ok in enumerate(flags) if ok]
+
+    def evaluate(
+        self,
+        path: "str | PathExpression",
+        *,
+        index: Optional[HopiIndex] = None,
+        probe: Optional[Probe] = None,
+    ) -> List[QueryResult]:
         """Evaluate a path expression, returning ranked results.
 
         Args:
             path: a path string (parsed on the fly) or a pre-parsed
                 :class:`PathExpression`.
+            index: evaluate against this index instead of the engine's
+                own (must cover the same collection — e.g. another label
+                backend, or the published epoch of a service).
+            probe: substitute descendant-step probe (see :data:`Probe`);
+                lets a serving tier cache/coalesce probes across
+                concurrent queries.
 
         Returns:
             Results sorted by descending score (ties broken by element
             ids for determinism), truncated to ``max_results``.
         """
+        index = index or self.index
         expr = parse_path(path) if isinstance(path, str) else path
         first, *rest = expr.steps
 
@@ -138,20 +203,22 @@ class QueryEngine:
                 # Only the reachable candidate *indices* are cached, so
                 # memory stays bounded by true positives, not by
                 # |sources| x |candidates|.
+                step_key: StepKey = (step.tag, step.similar)
                 cand_elems = [e for e, _ in candidates]
                 reach_cache: Dict[ElementId, List[int]] = {}
                 for bindings, score in partial:
                     prev = bindings[-1]
                     reach = reach_cache.get(prev)
                     if reach is None:
-                        flags = self.index.connected_many(prev, cand_elems)
-                        reach = [i for i, ok in enumerate(flags) if ok]
+                        reach = self._reachable(
+                            index, probe, prev, step_key, cand_elems
+                        )
                         reach_cache[prev] = reach
                     for i in reach:
                         e, tag_score = candidates[i]
                         if e == prev:
                             continue
-                        hop = self._hop_score(prev, e)
+                        hop = self._hop_score(index, prev, e)
                         grown.append(
                             (bindings + (e,), score * tag_score * hop)
                         )
@@ -163,6 +230,53 @@ class QueryEngine:
         results.sort(key=lambda r: (-r.score, r.bindings))
         return results[: self.max_results]
 
-    def count(self, path: "str | PathExpression") -> int:
-        """Number of matches (no ranking shortcut; evaluates fully)."""
-        return len(self.evaluate(path))
+    def count(
+        self,
+        path: "str | PathExpression",
+        *,
+        index: Optional[HopiIndex] = None,
+        probe: Optional[Probe] = None,
+    ) -> int:
+        """The total number of matches, without ranking.
+
+        Unlike ``len(evaluate(path))`` this skips scoring, sorting and
+        the ``max_results`` truncation, and never materialises binding
+        tuples: the number of full bindings ending at an element depends
+        only on that element, so partial results aggregate to
+        ``element -> count`` — one integer per distinct tail instead of
+        one tuple per match.
+        """
+        index = index or self.index
+        expr = parse_path(path) if isinstance(path, str) else path
+        first, *rest = expr.steps
+
+        tails: Dict[ElementId, int] = {}
+        for e, _ in self._candidates(first):
+            if first.axis == "child":
+                if self.collection.elements[e].parent is not None:
+                    continue
+            tails[e] = tails.get(e, 0) + 1
+
+        for step in rest:
+            candidates = self._candidates(step)
+            grown: Dict[ElementId, int] = {}
+            if step.axis == "child":
+                for e, _ in candidates:
+                    parent = self.collection.elements[e].parent
+                    if parent in tails:
+                        grown[e] = grown.get(e, 0) + tails[parent]
+            else:
+                step_key = (step.tag, step.similar)
+                cand_elems = [e for e, _ in candidates]
+                for prev, multiplicity in tails.items():
+                    for i in self._reachable(
+                        index, probe, prev, step_key, cand_elems
+                    ):
+                        e = cand_elems[i]
+                        if e == prev:
+                            continue
+                        grown[e] = grown.get(e, 0) + multiplicity
+            tails = grown
+            if not tails:
+                break
+        return sum(tails.values())

@@ -1,0 +1,41 @@
+"""The query-serving tier: concurrent reads, caching, zero-downtime swap.
+
+HOPI exists to answer connection queries fast enough to sit inside an
+interactive XML search engine, and the paper pairs the index with
+incremental maintenance so it stays online while the collection
+changes. This package is the missing serving layer on top of the core
+index:
+
+* :class:`repro.service.service.QueryService` — one published
+  :class:`~repro.core.hopi.HopiIndex` serving many reader threads, with
+  a parsed-plan cache, an LRU result cache keyed by ``(path, epoch)``,
+  and in-flight coalescing of identical descendant probes;
+* :mod:`repro.service.epoch` — the RCU-style epoch protocol: writers
+  mutate a deep-copied *shadow* index while readers keep answering on
+  the published epoch; an atomic reference swap publishes the shadow
+  with zero reader downtime and no torn answers;
+* :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` front
+  end (``/query``, ``/count``, ``/connected``, ``/distance``,
+  ``/update``, ``/stats``), wired into the CLI as ``repro serve``.
+
+``repro.bench.service_load`` drives this tier under closed- and
+open-loop load and records the ``BENCH_service.json`` trajectory.
+"""
+
+from repro.service.cache import LRUCache
+from repro.service.coalesce import CoalescingCache
+from repro.service.epoch import EpochHolder, EpochState
+from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.service import QueryResponse, QueryService, UpdateError
+
+__all__ = [
+    "LRUCache",
+    "CoalescingCache",
+    "EpochHolder",
+    "EpochState",
+    "ServiceHTTPServer",
+    "make_server",
+    "QueryService",
+    "QueryResponse",
+    "UpdateError",
+]

@@ -1,0 +1,103 @@
+"""A small thread-safe LRU cache with hit/miss accounting.
+
+Used twice by the service: for parsed query plans (path string →
+:class:`~repro.query.pathexpr.PathExpression`) and, composed with the
+in-flight coalescer, for ranked results keyed by ``(path, epoch)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    All operations take an internal lock, so the cache is safe to share
+    between reader threads; ``hits``/``misses``/``evictions`` are
+    monotone counters for the ``/stats`` endpoint.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value (refreshing its recency), or ``default``."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but without touching recency or counters."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Cached value, or ``factory()`` inserted and returned.
+
+        The factory runs outside the lock (it may be slow); concurrent
+        callers may both compute, last write wins — acceptable for pure
+        factories like path parsing. Use
+        :class:`repro.service.coalesce.CoalescingCache` when duplicated
+        computation must be prevented.
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hits / lookups, or None before the first lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else None
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "size": len(self),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,97 @@
+"""In-flight coalescing: concurrent identical computations run once.
+
+When many clients issue the same descendant probe (or the same cold
+query) at the same moment, computing it once and handing the answer to
+every waiter beats computing it N times — under the GIL the duplicate
+computations would not even overlap, they would serialise. The pattern
+is the classic "singleflight": the first caller computes, later callers
+with the same key block on an event and receive the same result (or the
+same exception).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.service.cache import LRUCache
+
+_MISSING = object()
+
+
+class _Pending:
+    """One in-flight computation: an event plus its outcome."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = _MISSING
+        self.error: Optional[BaseException] = None
+
+
+class CoalescingCache:
+    """An :class:`LRUCache` with single-flight computation.
+
+    :meth:`get_or_compute` returns ``(value, source)`` where ``source``
+    is ``"hit"`` (already cached), ``"computed"`` (this thread ran the
+    computation) or ``"coalesced"`` (another thread was already running
+    it; we waited and shared its answer). ``coalesced`` is also a
+    monotone counter — the service's ``/stats`` reports it as the number
+    of requests served without any work of their own.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.cache = LRUCache(capacity)
+        self._inflight: Dict[Hashable, _Pending] = {}
+        self._lock = threading.Lock()
+        self.coalesced = 0
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Tuple[Any, str]:
+        value = self.cache.get(key, _MISSING)
+        if value is not _MISSING:
+            return value, "hit"
+
+        with self._lock:
+            # re-check under the lock: the computing thread caches the
+            # value *before* releasing waiters, so a hit here is final
+            value = self.cache.peek(key, _MISSING)
+            if value is not _MISSING:
+                return value, "hit"
+            pending = self._inflight.get(key)
+            if pending is None:
+                pending = _Pending()
+                self._inflight[key] = pending
+                leader = True
+            else:
+                leader = False
+                self.coalesced += 1
+
+        if not leader:
+            pending.event.wait()
+            if pending.error is not None:
+                raise pending.error
+            return pending.value, "coalesced"
+
+        try:
+            value = compute()
+        except BaseException as exc:
+            pending.error = exc
+            raise
+        else:
+            pending.value = value
+            self.cache.put(key, value)
+            return value, "computed"
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            pending.event.set()
+
+    def stats(self) -> Dict[str, object]:
+        data = self.cache.stats()
+        data["coalesced"] = self.coalesced
+        with self._lock:
+            data["inflight"] = len(self._inflight)
+        return data

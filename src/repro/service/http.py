@@ -1,0 +1,193 @@
+"""Stdlib HTTP front end for :class:`~repro.service.service.QueryService`.
+
+``ThreadingHTTPServer`` gives one thread per connection; every handler
+thread goes through the service's lock-free read path, so concurrent
+clients share the caches and the published epoch exactly like in-process
+readers. Endpoints (all JSON):
+
+==========================  =================================================
+``GET /query``              ``path`` (required), ``limit`` — ranked matches
+``GET /count``              ``path`` — unranked total match count
+``GET /connected``          ``source``, ``target`` — reachability test
+``GET /distance``           ``source``, ``target`` — shortest link distance
+``POST /update``            body ``{"ops": [...]}`` — atomic maintenance
+                            batch + hot swap (see ``QueryService.update``)
+``GET /stats``              service counters, cache stats, epoch
+==========================  =================================================
+
+Every response carries the ``epoch`` that answered it, so clients can
+observe hot swaps. To add an endpoint: write a ``_handle_<name>``
+method on :class:`ServiceRequestHandler` returning ``(status, payload)``
+and it is routed automatically by path segment.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.query.pathexpr import PathSyntaxError
+from repro.service.service import QueryService, UpdateError
+
+JSON = "application/json"
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-hopi"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", JSON)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _param(self, params: Dict[str, list], name: str) -> str:
+        values = params.get(name)
+        if not values:
+            raise UpdateError(f"missing query parameter {name!r}")
+        return values[0]
+
+    def _int_param(self, params: Dict[str, list], name: str) -> int:
+        raw = self._param(params, name)
+        try:
+            return int(raw)
+        except ValueError:
+            raise UpdateError(f"parameter {name!r} must be an integer: {raw!r}")
+
+    def _dispatch(self, route: str, params: Dict[str, list],
+                  body: Optional[Dict[str, Any]]) -> None:
+        handler = getattr(self, f"_handle_{route.lstrip('/')}", None)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown endpoint {route!r}"})
+            return
+        try:
+            status, payload = handler(params, body)
+        except (UpdateError, PathSyntaxError, KeyError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"internal error: {exc}"})
+        else:
+            self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        self._dispatch(url.path, parse_qs(url.query), None)
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            self._send_json(400, {"error": "request body is not valid JSON"})
+            return
+        self._dispatch(url.path, parse_qs(url.query), body)
+
+    # -- endpoints -------------------------------------------------------
+    def _handle_query(self, params, body) -> Tuple[int, Dict[str, Any]]:
+        path = self._param(params, "path")
+        limit = None
+        if "limit" in params:
+            limit = self._int_param(params, "limit")
+        response = self.service.query(path, limit=limit)
+        collection = response.collection  # same epoch as the results
+        results = []
+        for r in response.results:
+            element = collection.elements[r.target]
+            results.append(
+                {
+                    "score": r.score,
+                    "element": r.target,
+                    "doc": element.doc,
+                    "tag": element.tag,
+                    "text": element.text,
+                    "bindings": list(r.bindings),
+                }
+            )
+        return 200, {
+            "epoch": response.epoch,
+            "path": response.path,
+            "cached": response.cached,
+            "seconds": response.seconds,
+            "count": len(results),
+            "results": results,
+        }
+
+    def _handle_count(self, params, body) -> Tuple[int, Dict[str, Any]]:
+        path = self._param(params, "path")
+        epoch, n = self.service.count(path)
+        return 200, {"epoch": epoch, "path": path, "count": n}
+
+    def _handle_connected(self, params, body) -> Tuple[int, Dict[str, Any]]:
+        u = self._int_param(params, "source")
+        v = self._int_param(params, "target")
+        epoch, connected = self.service.connected(u, v)
+        return 200, {"epoch": epoch, "source": u, "target": v,
+                     "connected": connected}
+
+    def _handle_distance(self, params, body) -> Tuple[int, Dict[str, Any]]:
+        u = self._int_param(params, "source")
+        v = self._int_param(params, "target")
+        epoch, dist = self.service.distance(u, v)
+        return 200, {"epoch": epoch, "source": u, "target": v,
+                     "distance": dist}
+
+    def _handle_update(self, params, body) -> Tuple[int, Dict[str, Any]]:
+        if body is None:
+            raise UpdateError("/update requires a POST body")
+        if isinstance(body, list):
+            ops = body
+        elif isinstance(body, dict):
+            ops = body.get("ops", [])
+        else:
+            raise UpdateError(
+                "/update body must be a JSON object with an 'ops' list "
+                f"or a bare list, got {type(body).__name__}"
+            )
+        if not isinstance(ops, list):
+            raise UpdateError("'ops' must be a list of operations")
+        report = self.service.update(ops)
+        return 200, report
+
+    def _handle_stats(self, params, body) -> Tuple[int, Dict[str, Any]]:
+        return 200, self.service.stats()
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` carrying the shared :class:`QueryService`.
+
+    ``daemon_threads`` keeps request threads from blocking shutdown;
+    ``allow_reuse_address`` makes restart-in-place (and tests) painless.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: QueryService, *,
+                 verbose: bool = False) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8080,
+    *, verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind a service to a listening socket (port 0 → ephemeral)."""
+    return ServiceHTTPServer((host, port), service, verbose=verbose)

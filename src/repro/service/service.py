@@ -1,0 +1,440 @@
+"""`QueryService` — many concurrent clients over one HOPI index.
+
+The read path is lock-free: a request pins the current
+:class:`~repro.service.epoch.EpochState` with one atomic reference read
+and answers entirely from it. Three layers keep repeated work off the
+index:
+
+1. a **plan cache** (path string → parsed
+   :class:`~repro.query.pathexpr.PathExpression`; epoch-independent);
+2. a **result cache** keyed by ``(path, epoch)`` with single-flight
+   coalescing — concurrent identical cold queries evaluate once;
+3. a per-epoch **probe cache** — identical descendant-step probes
+   (``source × candidate-list``) across *different* queries coalesce
+   and are answered once per epoch.
+
+The write path (:meth:`QueryService.update`, :meth:`QueryService.apply`,
+:meth:`QueryService.reload_cover`) serialises on one writer lock,
+applies Section-6 maintenance to a deep-copied shadow index, and
+publishes it atomically — readers never wait and never observe a
+half-updated index. Failed update batches are discarded wholesale (the
+shadow is thrown away), so ``/update`` is all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.hopi import HopiIndex
+from repro.query.engine import Probe, QueryEngine, QueryResult, StepKey
+from repro.query.ontology import TagOntology
+from repro.query.pathexpr import PathExpression, parse_path
+from repro.service.cache import LRUCache
+from repro.service.coalesce import CoalescingCache
+from repro.service.epoch import EpochHolder, EpochState
+from repro.storage.snapshot import load_snapshot
+from repro.xmlmodel.model import ElementId
+
+
+class UpdateError(ValueError):
+    """A malformed or inapplicable ``/update`` operation (maps to 400)."""
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answered query, tagged with the epoch that answered it.
+
+    Attributes:
+        epoch: the index generation the whole answer came from.
+        path: the normalised path expression.
+        results: ranked matches (shared cached list — do not mutate).
+        source: ``"hit"`` / ``"computed"`` / ``"coalesced"`` — how the
+            result cache served this request.
+        seconds: service-side latency of this request.
+        collection: the *same epoch's* collection — render result
+            elements from this, never from ``service.index`` (which may
+            have hot-swapped since the query pinned its epoch).
+    """
+
+    epoch: int
+    path: str
+    results: List[QueryResult]
+    source: str
+    seconds: float
+    collection: Any = None
+
+    @property
+    def cached(self) -> bool:
+        return self.source != "computed"
+
+
+class QueryService:
+    """A thread-safe serving tier over one :class:`HopiIndex`.
+
+    The service takes ownership of ``index``: callers must not mutate
+    it afterwards (mutations go through :meth:`update` / :meth:`apply`,
+    which operate on shadows and hot-swap).
+
+    Args:
+        index: the index to publish as epoch 0's generation.
+        ontology: tag ontology for ``~tag`` steps.
+        similarity_threshold: forwarded to the query engine.
+        max_results: ranked-result truncation per query.
+        result_cache_size: entries in the ``(path, epoch)`` result LRU.
+        probe_cache_size: per-epoch descendant-probe LRU entries.
+        plan_cache_size: parsed-path LRU entries.
+    """
+
+    def __init__(
+        self,
+        index: HopiIndex,
+        *,
+        ontology: Optional[TagOntology] = None,
+        similarity_threshold: float = 0.3,
+        max_results: int = 1000,
+        result_cache_size: int = 4096,
+        probe_cache_size: int = 8192,
+        plan_cache_size: int = 1024,
+    ) -> None:
+        self._ontology = ontology
+        self._similarity_threshold = similarity_threshold
+        self._max_results = max_results
+        self._probe_cache_size = probe_cache_size
+        self._plans = LRUCache(plan_cache_size)
+        self._results = CoalescingCache(result_cache_size)
+        self._holder = EpochHolder(self._make_state(index.epoch, index))
+        self._write_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # epoch plumbing
+    # ------------------------------------------------------------------
+    def _make_state(self, epoch: int, index: HopiIndex) -> EpochState:
+        engine = QueryEngine(
+            index,
+            ontology=self._ontology,
+            similarity_threshold=self._similarity_threshold,
+            max_results=self._max_results,
+        )
+        return EpochState(
+            epoch=epoch,
+            index=index,
+            engine=engine,
+            probes=CoalescingCache(self._probe_cache_size),
+        )
+
+    def _probe_for(self, state: EpochState) -> Probe:
+        """The coalescing descendant-probe for one epoch.
+
+        Keyed by ``(source, step_key)`` — sound because within an epoch
+        the engine's memoized candidate list for a step key is fixed, so
+        identical keys mean identical probes.
+        """
+
+        def probe(
+            source: ElementId, step_key: StepKey, cand_elems: Sequence[ElementId]
+        ) -> List[int]:
+            def compute() -> List[int]:
+                flags = state.index.connected_many(source, cand_elems)
+                return [i for i, ok in enumerate(flags) if ok]
+
+            reach, _ = state.probes.get_or_compute((source, step_key), compute)
+            return reach
+
+        return probe
+
+    def _count(self, name: str) -> None:
+        with self._counter_lock:
+            self._counters[name] = self._counters.get(name, 0) + 1
+
+    @property
+    def epoch(self) -> int:
+        """The currently published epoch."""
+        return self._holder.current.epoch
+
+    @property
+    def max_results(self) -> int:
+        """The ranked-result truncation applied per query."""
+        return self._max_results
+
+    @property
+    def index(self) -> HopiIndex:
+        """The currently published index (treat as read-only)."""
+        return self._holder.current.index
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _plan(self, path: Union[str, PathExpression]) -> PathExpression:
+        if isinstance(path, PathExpression):
+            return path
+        return self._plans.get_or_create(path, lambda: parse_path(path))
+
+    def query(
+        self, path: Union[str, PathExpression], *, limit: Optional[int] = None
+    ) -> QueryResponse:
+        """Evaluate ``path`` against the current epoch, cached.
+
+        ``limit`` truncates the returned (already ranked) results; the
+        cache always holds the full ``max_results`` list so requests
+        with different limits share one entry.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        t0 = time.perf_counter()
+        state = self._holder.current  # pin one epoch for the request
+        expr = self._plan(path)
+        key = ("query", str(expr), state.epoch)
+        results, source = self._results.get_or_compute(
+            key,
+            lambda: state.engine.evaluate(
+                expr, index=state.index, probe=self._probe_for(state)
+            ),
+        )
+        if limit is not None:
+            results = results[:limit]
+        self._count("query")
+        return QueryResponse(
+            epoch=state.epoch,
+            path=str(expr),
+            results=results,
+            source=source,
+            seconds=time.perf_counter() - t0,
+            collection=state.index.collection,
+        )
+
+    def count(self, path: Union[str, PathExpression]) -> Tuple[int, int]:
+        """``(epoch, total match count)`` — unranked, untruncated."""
+        state = self._holder.current
+        expr = self._plan(path)
+        key = ("count", str(expr), state.epoch)
+        n, _ = self._results.get_or_compute(
+            key,
+            lambda: state.engine.count(
+                expr, index=state.index, probe=self._probe_for(state)
+            ),
+        )
+        self._count("count")
+        return state.epoch, n
+
+    def connected(self, u: ElementId, v: ElementId) -> Tuple[int, bool]:
+        """``(epoch, u ->* v)``."""
+        state = self._holder.current
+        self._count("connected")
+        return state.epoch, state.index.connected(u, v)
+
+    def distance(self, u: ElementId, v: ElementId) -> Tuple[int, Optional[int]]:
+        """``(epoch, shortest link distance or None)``."""
+        state = self._holder.current
+        self._count("distance")
+        return state.epoch, state.index.distance(u, v)
+
+    # ------------------------------------------------------------------
+    # write path: shadow + hot swap
+    # ------------------------------------------------------------------
+    def _publish(self, shadow: HopiIndex) -> EpochState:
+        state = self._make_state(shadow.epoch, shadow)
+        self._holder.publish(state)
+        return state
+
+    def apply(self, mutator: Callable[[HopiIndex], Any]) -> Tuple[int, Any]:
+        """Run an arbitrary maintenance function against a shadow and
+        hot-swap it in.
+
+        ``mutator`` receives a deep copy of the published index and may
+        call any of its Section-6 maintenance methods (each bumps the
+        shadow's epoch); if it mutates without bumping, the epoch is
+        advanced for it. Readers are never blocked; the swap is atomic.
+
+        Returns:
+            ``(new epoch, mutator's return value)``.
+        """
+        with self._write_lock:
+            current = self._holder.current
+            shadow = current.index.copy()
+            result = mutator(shadow)
+            if shadow.epoch <= current.epoch:
+                shadow.epoch = current.epoch + 1
+            self._publish(shadow)
+            self._count("update")
+            return shadow.epoch, result
+
+    def update(self, ops: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+        """Apply a batch of maintenance operations, all-or-nothing.
+
+        Each op is a dict with an ``"op"`` discriminator (the ``/update``
+        endpoint's wire format):
+
+        * ``{"op": "insert_element", "parent": id, "tag": t}``
+        * ``{"op": "insert_edge", "source": u, "target": v}``
+        * ``{"op": "delete_edge", "source": u, "target": v}``
+        * ``{"op": "delete_document", "doc_id": d}``
+        * ``{"op": "insert_document", "doc_id": d, "root_tag": t,
+          "children": [{"ref": r, "parent": ref-or-id, "tag": t}, ...],
+          "links": [[ref-or-id, ref-or-id], ...]}``
+        * ``{"op": "rebuild", ...build kwargs...}``
+
+        Any failure raises :class:`UpdateError` and discards the shadow:
+        the published index is untouched and the epoch does not advance.
+
+        Returns:
+            ``{"epoch": new epoch, "applied": n, "reports": [...]}``.
+        """
+        ops = list(ops)
+        if not ops:
+            return {"epoch": self.epoch, "applied": 0, "reports": []}
+
+        def run(shadow: HopiIndex) -> List[Dict[str, Any]]:
+            return [self._apply_op(shadow, op) for op in ops]
+
+        try:
+            epoch, reports = self.apply(run)
+        except UpdateError:
+            raise
+        except (KeyError, ValueError, TypeError) as exc:
+            raise UpdateError(f"update failed: {exc}") from exc
+        return {"epoch": epoch, "applied": len(reports), "reports": reports}
+
+    def _apply_op(self, shadow: HopiIndex, op: Dict[str, Any]) -> Dict[str, Any]:
+        if not isinstance(op, dict) or "op" not in op:
+            raise UpdateError(f"operation must be a dict with an 'op' key: {op!r}")
+        kind = op["op"]
+        if kind == "insert_element":
+            eid = shadow.insert_element(int(op["parent"]), str(op["tag"]))
+            return {"op": kind, "element": eid}
+        if kind in ("insert_edge", "insert_link"):
+            report = shadow.insert_edge(int(op["source"]), int(op["target"]))
+            return {"op": kind, **asdict(report)}
+        if kind in ("delete_edge", "delete_link"):
+            report = shadow.delete_edge(int(op["source"]), int(op["target"]))
+            return {"op": kind, **asdict(report)}
+        if kind == "delete_document":
+            doc_id = str(op["doc_id"])
+            if doc_id not in shadow.collection.documents:
+                raise UpdateError(f"no document {doc_id!r}")
+            report = shadow.delete_document(doc_id)
+            return {"op": kind, **asdict(report)}
+        if kind == "insert_document":
+            return self._apply_insert_document(shadow, op)
+        if kind == "rebuild":
+            kwargs = {k: v for k, v in op.items() if k != "op"}
+            shadow.rebuild(**kwargs)
+            return {"op": kind, "cover_size": shadow.cover.size}
+        raise UpdateError(f"unknown operation {kind!r}")
+
+    def _apply_insert_document(
+        self, shadow: HopiIndex, op: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Create a document in the shadow collection, then integrate it
+        with Section 6.1's new-partition rule."""
+        doc_id = str(op["doc_id"])
+        if doc_id in shadow.collection.documents:
+            raise UpdateError(f"document {doc_id!r} already exists")
+        root = shadow.collection.new_document(
+            doc_id, str(op.get("root_tag", "root"))
+        )
+        refs: Dict[str, ElementId] = {"root": root.eid}
+
+        def resolve(endpoint: Union[str, int]) -> ElementId:
+            if isinstance(endpoint, str):
+                if endpoint not in refs:
+                    raise UpdateError(f"unknown element ref {endpoint!r}")
+                return refs[endpoint]
+            return int(endpoint)
+
+        for child in op.get("children", ()):
+            parent = resolve(child.get("parent", "root"))
+            if (
+                parent not in shadow.collection.elements
+                or shadow.collection.elements[parent].doc != doc_id
+            ):
+                # a child attached to another document would be added to
+                # the collection but never integrated into the cover by
+                # insert_document below — reject instead of corrupting
+                raise UpdateError(
+                    f"child parent {parent!r} is not an element of the new "
+                    f"document {doc_id!r}; connect to other documents via "
+                    "'links'"
+                )
+            e = shadow.collection.add_child(parent, str(child["tag"]))
+            if "ref" in child:
+                refs[str(child["ref"])] = e.eid
+        # the new document's elements exist only in the collection so
+        # far; insert_document builds its local cover and unions it in
+        for source, target in op.get("links", ()):
+            shadow.collection.add_link(resolve(source), resolve(target))
+        report = shadow.insert_document(doc_id)
+        return {"op": "insert_document", "elements": refs, **asdict(report)}
+
+    def reload_cover(self, snapshot) -> int:
+        """Hot-swap the cover from a CSR snapshot, keeping the
+        collection.
+
+        The zero-downtime reload path for offline rebuilds (Section 6:
+        "occasional rebuilds of the index may be considered"): a fresh
+        cover built elsewhere is loaded into a shadow generation and
+        published atomically while readers keep answering on the old
+        one. The snapshot must cover the current collection's elements.
+
+        Args:
+            snapshot: a snapshot file path, or a
+                :class:`~repro.storage.snapshot.SnapshotCoverStore`
+                (re-read via its ``reload()``, so a polling maintenance
+                thread can share one store).
+
+        Returns:
+            The new epoch.
+        """
+        from repro.storage.snapshot import SnapshotCoverStore
+
+        with self._write_lock:
+            current = self._holder.current
+            if isinstance(snapshot, SnapshotCoverStore):
+                cover = snapshot.reload().copy()
+            else:
+                cover = load_snapshot(snapshot)
+            missing = [
+                e for e in current.index.collection.elements
+                if e not in cover.nodes
+            ]
+            if missing:
+                raise UpdateError(
+                    f"snapshot does not cover the collection: "
+                    f"{len(missing)} elements missing (e.g. {missing[:3]})"
+                )
+            fresh = HopiIndex(
+                current.index.collection, cover, stats=current.index.stats
+            )
+            fresh.epoch = current.epoch + 1
+            self._publish(fresh)
+            self._count("reload")
+            return fresh.epoch
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """A point-in-time snapshot for the ``/stats`` endpoint."""
+        state = self._holder.current
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "epoch": state.epoch,
+            "uptime_seconds": time.time() - self._started,
+            "swaps": self._holder.swaps,
+            "backend": state.index.backend,
+            "distance_aware": state.index.is_distance_aware,
+            "documents": state.index.collection.num_documents,
+            "elements": state.index.collection.num_elements,
+            "links": state.index.collection.num_links,
+            "cover_entries": state.index.cover.size,
+            "requests": counters,
+            "result_cache": self._results.stats(),
+            "plan_cache": self._plans.stats(),
+            "probe_cache": state.probes.stats(),
+        }

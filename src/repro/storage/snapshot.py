@@ -142,11 +142,42 @@ class SnapshotCoverStore(CoverStore):
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._cover: Optional[ArrayCover] = None
+        self._loaded_mtime_ns: Optional[int] = None
 
     def _loaded(self) -> ArrayCover:
         if self._cover is None:
+            # stat *before* reading: if the file is rewritten while we
+            # load, the recorded mtime predates the rewrite and the next
+            # reload_if_changed() picks the new version up (stale-safe)
+            mtime_ns = self.path.stat().st_mtime_ns
             self._cover = load_snapshot(self.path)
+            self._loaded_mtime_ns = mtime_ns
         return self._cover
+
+    def reload(self) -> ArrayCover:
+        """Drop the cached cover and re-read the file.
+
+        The store half of the service layer's hot-reload path
+        (``QueryService.reload_cover`` accepts a store and calls this):
+        an index rebuilt offline (e.g. after cover-quality degradation,
+        Section 6's "occasional rebuilds") is picked up without
+        restarting the process — the service loads the fresh cover into
+        a shadow epoch and hot-swaps it under live queries.
+        """
+        self._cover = None
+        return self._loaded()
+
+    def reload_if_changed(self) -> bool:
+        """Reload when the file changed since it was last read.
+
+        Returns True when a fresh cover was loaded. Cheap enough to poll
+        from a maintenance thread (one ``stat`` per call).
+        """
+        mtime_ns = self.path.stat().st_mtime_ns
+        if self._cover is not None and mtime_ns == self._loaded_mtime_ns:
+            return False
+        self.reload()
+        return True
 
     def save_cover(self, cover) -> None:
         from repro.core.hopi import convert_cover
@@ -156,6 +187,7 @@ class SnapshotCoverStore(CoverStore):
         # cache a private copy: the caller may keep mutating its live
         # cover, and the store must keep answering from persisted state
         self._cover = converted.copy()
+        self._loaded_mtime_ns = self.path.stat().st_mtime_ns
 
     def load_cover(self) -> ArrayCover:
         return self._loaded()

@@ -270,6 +270,31 @@ class Collection:
         sub._next_id = self._next_id
         return sub
 
+    def copy(self) -> "Collection":
+        """A structurally independent deep copy of the collection.
+
+        Unlike :meth:`subcollection` (which shares ``Document`` objects
+        for cheap partitioning), the copy owns fresh ``Document`` and
+        ``Element`` objects, so maintenance on the copy never leaks into
+        the original — this is what lets the service layer mutate a
+        shadow collection while readers keep answering on the published
+        one. Element ids are preserved.
+        """
+        fresh = Collection()
+        for doc_id, doc in self.documents.items():
+            dup = Document(doc_id, doc.root)
+            dup.elements = set(doc.elements)
+            dup.children = {p: list(kids) for p, kids in doc.children.items()}
+            dup.intra_links = set(doc.intra_links)
+            fresh.documents[doc_id] = dup
+        for eid, e in self.elements.items():
+            fresh.elements[eid] = Element(
+                e.eid, e.tag, e.doc, e.parent, dict(e.attributes), e.text
+            )
+        fresh.inter_links = set(self.inter_links)
+        fresh._next_id = self._next_id
+        return fresh
+
     # ------------------------------------------------------------------
     # statistics (Table 1)
     # ------------------------------------------------------------------

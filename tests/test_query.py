@@ -240,3 +240,95 @@ def test_query_on_dblp_matches_naive_evaluation():
         if a != ci and is_reachable(graph, a, ci)
     }
     assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# counting path and candidate memoization
+# ---------------------------------------------------------------------------
+
+
+def test_count_equals_full_evaluation_across_shapes():
+    """The aggregated counting path must agree with materialised
+    evaluation on child steps, descendant steps, wildcards and ~tags."""
+    c = dblp_like(10, seed=13)
+    index = HopiIndex.build(c, strategy="recursive", partitioner="closure")
+    full = QueryEngine(index, max_results=10**9)
+    for path in [
+        "//article//author",
+        "//article//cite",
+        "//article//*",
+        "//~article//author",
+        "/article/author",
+        "/article",
+        "//author",
+        "//article//cite//author",
+        "//nonexistent//author",
+    ]:
+        assert full.count(path) == len(full.evaluate(path)), path
+
+
+def test_count_ignores_max_results_truncation():
+    c = dblp_like(8, seed=13)
+    index = HopiIndex.build(c, strategy="unpartitioned")
+    truncated = QueryEngine(index, max_results=1)
+    full = QueryEngine(index, max_results=10**9)
+    n = full.count("//article//author")
+    assert truncated.count("//article//author") == n
+    assert n > 1  # the workload actually exercises the truncation
+
+
+def test_count_distance_aware_index():
+    """Counting must not require distance lookups (no scoring)."""
+    c = dblp_like(6, seed=3)
+    index = HopiIndex.build(c, strategy="unpartitioned", distance=True)
+    engine = QueryEngine(index, max_results=10**9)
+    assert engine.count("//article//cite") == len(engine.evaluate("//article//cite"))
+
+
+def test_candidates_memoized_per_tag_and_invalidated_on_refresh():
+    c = dblp_like(6, seed=2)
+    index = HopiIndex.build(c, strategy="unpartitioned")
+    engine = QueryEngine(index)
+    expr = parse_path("//article//author//author")
+    first = engine._candidates(expr.steps[1])
+    again = engine._candidates(expr.steps[2])
+    assert first is again  # same (tag, similar) key -> same memo entry
+    index.delete_document(sorted(c.documents)[0])
+    engine.refresh()
+    fresh = engine._candidates(expr.steps[1])
+    assert fresh is not first
+    assert len(fresh) < len(first)
+
+
+def test_evaluate_against_explicit_index():
+    """Pooled engines: one engine's tag index, another backend's cover."""
+    c = dblp_like(8, seed=5)
+    sets_index = HopiIndex.build(c, strategy="unpartitioned", backend="sets")
+    arrays_index = sets_index.with_backend("arrays")
+    engine = QueryEngine(sets_index, max_results=10**9)
+    default = engine.evaluate("//article//cite")
+    explicit = engine.evaluate("//article//cite", index=arrays_index)
+    assert [(r.bindings, r.score) for r in default] == [
+        (r.bindings, r.score) for r in explicit
+    ]
+    assert engine.count("//article//cite", index=arrays_index) == len(default)
+
+
+def test_evaluate_with_probe_substitute():
+    """A substitute probe sees (source, step_key, candidates) and its
+    answer is trusted — the serving tier's coalescing hook."""
+    c = dblp_like(6, seed=5)
+    index = HopiIndex.build(c, strategy="unpartitioned")
+    engine = QueryEngine(index, max_results=10**9)
+    seen = []
+
+    def probe(source, step_key, cand_elems):
+        seen.append((source, step_key))
+        flags = index.connected_many(source, cand_elems)
+        return [i for i, ok in enumerate(flags) if ok]
+
+    with_probe = engine.evaluate("//article//cite", probe=probe)
+    assert seen and all(key == ("cite", False) for _, key in seen)
+    assert [r.bindings for r in with_probe] == [
+        r.bindings for r in engine.evaluate("//article//cite")
+    ]

@@ -1,0 +1,623 @@
+"""Tests for the serving tier: caches, coalescing, epochs, HTTP.
+
+The centrepiece is the torn-read property: N reader threads querying
+while a maintenance sequence hot-swaps the index must always observe
+answers consistent with exactly one epoch — verified against per-epoch
+oracles on both label backends.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.hopi import HopiIndex
+from repro.query.engine import QueryEngine
+from repro.service import (
+    CoalescingCache,
+    EpochHolder,
+    LRUCache,
+    QueryService,
+    UpdateError,
+    make_server,
+)
+from repro.storage.snapshot import save_snapshot
+from repro.xmlmodel.generator import dblp_like
+
+
+def build_index(backend="arrays", n_docs=12, seed=17):
+    return HopiIndex.build(
+        dblp_like(n_docs, seed=seed), backend=backend,
+        strategy="recursive", partitioner="node_weight", partition_limit=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def arrays_index():
+    return build_index("arrays")
+
+
+def signature(results):
+    return tuple((r.bindings, round(r.score, 9)) for r in results)
+
+
+# ---------------------------------------------------------------------------
+# LRU cache
+# ---------------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_put_get_and_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b", "fallback") == "fallback"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_get_or_create(self):
+        cache = LRUCache(2)
+        calls = []
+        assert cache.get_or_create("k", lambda: calls.append(1) or 42) == 42
+        assert cache.get_or_create("k", lambda: calls.append(1) or 43) == 42
+        assert len(calls) == 1
+
+    def test_peek_does_not_count(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+# ---------------------------------------------------------------------------
+# in-flight coalescing
+# ---------------------------------------------------------------------------
+
+
+class TestCoalescingCache:
+    def test_concurrent_identical_computations_run_once(self):
+        cache = CoalescingCache(8)
+        gate = threading.Event()
+        computed = []
+        sources = []
+        lock = threading.Lock()
+
+        def compute():
+            gate.wait(timeout=5)
+            with lock:
+                computed.append(1)
+            return "value"
+
+        def request():
+            value, source = cache.get_or_compute("key", compute)
+            with lock:
+                sources.append((value, source))
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for t in threads:
+            t.start()
+        # let every thread reach wait-or-compute, then open the gate
+        deadline = threading.Event()
+        deadline.wait(0.05)
+        gate.set()
+        for t in threads:
+            t.join()
+        assert len(computed) == 1
+        values = {v for v, _ in sources}
+        assert values == {"value"}
+        kinds = [s for _, s in sources]
+        assert kinds.count("computed") == 1
+        assert cache.coalesced == kinds.count("coalesced")
+        # late caller hits the cache
+        assert cache.get_or_compute("key", compute)[1] == "hit"
+
+    def test_error_propagates_to_waiters_and_is_not_cached(self):
+        cache = CoalescingCache(8)
+
+        def boom():
+            raise RuntimeError("compute failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("key", boom)
+        # the failure is not cached: the next call recomputes
+        value, source = cache.get_or_compute("key", lambda: 7)
+        assert (value, source) == (7, "computed")
+
+
+# ---------------------------------------------------------------------------
+# epoch holder
+# ---------------------------------------------------------------------------
+
+
+def test_epoch_must_advance(arrays_index):
+    service = QueryService(arrays_index.copy())
+    holder = service._holder
+    with pytest.raises(ValueError):
+        holder.publish(holder.current)
+
+
+# ---------------------------------------------------------------------------
+# QueryService read path
+# ---------------------------------------------------------------------------
+
+
+class TestServiceReads:
+    def test_matches_direct_engine(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        engine = QueryEngine(arrays_index)
+        response = service.query("//article//author")
+        assert signature(response.results) == signature(
+            engine.evaluate("//article//author")
+        )
+        assert response.epoch == 0
+        assert response.source == "computed"
+
+    def test_result_cache_and_limit_share_entry(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        first = service.query("//article//author")
+        second = service.query("//article//author", limit=3)
+        assert second.source == "hit"
+        assert second.results == first.results[:3]
+
+    def test_count_is_untruncated(self, arrays_index):
+        service = QueryService(arrays_index.copy(), max_results=2)
+        epoch, n = service.count("//article//author")
+        assert epoch == 0
+        full = QueryEngine(arrays_index, max_results=10**9)
+        assert n == len(full.evaluate("//article//author"))
+        assert n > 2  # the query() path would truncate; count must not
+
+    def test_connected_and_distance(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        collection = arrays_index.collection
+        root = sorted(collection.documents)[0]
+        doc_root = collection.documents[root].root
+        child = sorted(collection.documents[root].elements)[1]
+        epoch, connected = service.connected(doc_root, child)
+        assert epoch == 0 and connected
+        with pytest.raises(TypeError):
+            service.distance(doc_root, child)  # not distance-aware
+
+    def test_probe_coalescing_visible_in_stats(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        service.query("//article//author")
+        service.query("//article//cite")
+        stats = service.stats()
+        assert stats["probe_cache"]["hits"] + stats["probe_cache"]["misses"] > 0
+        assert stats["requests"]["query"] == 2
+
+
+# ---------------------------------------------------------------------------
+# QueryService write path
+# ---------------------------------------------------------------------------
+
+
+class TestServiceUpdates:
+    def test_update_swaps_epoch_and_invalidates(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        before = service.query("//article//author")
+        doc = sorted(service.index.collection.documents)[0]
+        report = service.update([{"op": "delete_document", "doc_id": doc}])
+        assert report["epoch"] == 1
+        assert report["applied"] == 1
+        after = service.query("//article//author")
+        assert after.epoch == 1
+        assert after.source == "computed"  # new epoch, fresh entry
+        assert len(after.results) < len(before.results)
+        service.index.verify()
+
+    def test_update_batch_is_atomic(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        doc = sorted(service.index.collection.documents)[0]
+        root = service.index.collection.documents[doc].root
+        with pytest.raises(UpdateError):
+            service.update([
+                {"op": "insert_element", "parent": root, "tag": "note"},
+                {"op": "delete_document", "doc_id": "no-such-doc"},
+            ])
+        # nothing applied: epoch unchanged, element not inserted
+        assert service.epoch == 0
+        assert "note" not in service.index.collection.tags()
+
+    def test_update_empty_batch_is_noop(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        assert service.update([]) == {"epoch": 0, "applied": 0, "reports": []}
+
+    def test_unknown_and_malformed_ops(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        with pytest.raises(UpdateError):
+            service.update([{"op": "florble"}])
+        with pytest.raises(UpdateError):
+            service.update(["not-a-dict"])
+
+    def test_insert_document_compound_op(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        target_doc = sorted(service.index.collection.documents)[0]
+        target = service.index.collection.documents[target_doc].root
+        report = service.update([{
+            "op": "insert_document",
+            "doc_id": "svcdoc",
+            "root_tag": "article",
+            "children": [
+                {"ref": "a", "tag": "author"},
+                {"ref": "c", "parent": "a", "tag": "cite"},
+            ],
+            "links": [["c", target]],
+        }])
+        assert report["epoch"] == 1
+        refs = report["reports"][0]["elements"]
+        assert set(refs) == {"root", "a", "c"}
+        # the link is live: the new cite reaches the cited document root
+        _, connected = service.connected(refs["c"], target)
+        assert connected
+        service.index.verify()
+
+    def test_insert_document_rejects_cross_document_parent(self, arrays_index):
+        """A child parented into another document would be added to the
+        collection but never integrated into the cover — must be a
+        rejected batch, not silent index corruption."""
+        service = QueryService(arrays_index.copy())
+        other_doc = sorted(service.index.collection.documents)[0]
+        foreign = service.index.collection.documents[other_doc].root
+        with pytest.raises(UpdateError, match="not an element of the new"):
+            service.update([{
+                "op": "insert_document",
+                "doc_id": "baddoc",
+                "children": [{"parent": foreign, "tag": "author"}],
+            }])
+        assert service.epoch == 0
+        assert "baddoc" not in service.index.collection.documents
+        # every collection element is still covered
+        for e in service.index.collection.elements:
+            assert e in service.index.cover.nodes
+
+    def test_negative_limit_rejected(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        with pytest.raises(ValueError, match="non-negative"):
+            service.query("//article//author", limit=-1)
+
+    def test_apply_arbitrary_mutator(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        docs = sorted(service.index.collection.documents)
+
+        def mutator(shadow):
+            return shadow.delete_document(docs[1]).operation
+
+        epoch, op = service.apply(mutator)
+        assert (epoch, op) == (1, "delete_document")
+        assert docs[1] not in service.index.collection.documents
+
+    def test_rebuild_op(self, arrays_index):
+        service = QueryService(arrays_index.copy())
+        report = service.update([{"op": "rebuild", "strategy": "unpartitioned"}])
+        assert report["epoch"] == 1
+        assert report["reports"][0]["cover_size"] == service.index.cover.size
+        service.index.verify()
+
+
+# ---------------------------------------------------------------------------
+# snapshot hot-reload
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotReload:
+    def test_reload_cover_hot_swaps(self, tmp_path, arrays_index):
+        service = QueryService(arrays_index.copy())
+        before = service.query("//article//author")
+        # an offline rebuild produces a (differently shaped) snapshot
+        rebuilt = arrays_index.copy().rebuild(strategy="unpartitioned")
+        snap = tmp_path / "rebuilt.snap"
+        save_snapshot(snap, rebuilt.cover)
+        epoch = service.reload_cover(snap)
+        assert epoch == 1
+        after = service.query("//article//author")
+        assert after.epoch == 1
+        assert signature(after.results) == signature(before.results)
+
+    def test_reload_cover_from_store(self, tmp_path, arrays_index):
+        """A polling maintenance thread shares one SnapshotCoverStore;
+        the service re-reads through its reload()."""
+        from repro.storage.snapshot import SnapshotCoverStore
+
+        service = QueryService(arrays_index.copy())
+        snap = tmp_path / "live.snap"
+        store = SnapshotCoverStore(snap)
+        store.save_cover(arrays_index.copy().rebuild(strategy="unpartitioned").cover)
+        epoch = service.reload_cover(store)
+        assert epoch == 1
+        response = service.query("//article//author")
+        assert response.epoch == 1 and response.results
+
+    def test_reload_rejects_noncovering_snapshot(self, tmp_path, arrays_index):
+        shrunk = arrays_index.copy()
+        doc = sorted(shrunk.collection.documents)[0]
+        shrunk.delete_document(doc)
+        snap = tmp_path / "shrunk.snap"
+        save_snapshot(snap, shrunk.cover)
+        service = QueryService(arrays_index.copy())
+        with pytest.raises(UpdateError):
+            service.reload_cover(snap)
+        assert service.epoch == 0
+
+
+# ---------------------------------------------------------------------------
+# the torn-read property: concurrent readers + writer, both backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["sets", "arrays"])
+def test_concurrent_readers_never_observe_torn_epochs(backend):
+    """N reader threads during a maintenance sequence: every answer must
+    equal the oracle of exactly the epoch it reports — fully pre- or
+    fully post-swap, never a mix."""
+    index = build_index(backend)
+    paths = ["//article//author", "//article//cite", "//article//title"]
+    collection = index.collection
+    docs = sorted(collection.documents)
+    roots = [collection.documents[d].root for d in docs]
+    ops = [
+        [{"op": "insert_element", "parent": roots[1], "tag": "note"}],
+        [{"op": "delete_document", "doc_id": docs[2]}],
+        [{"op": "insert_edge", "source": roots[3], "target": roots[4]}],
+        [{"op": "delete_document", "doc_id": docs[5]}],
+    ]
+
+    # ---- per-epoch oracles, computed by replaying the sequence offline
+    oracle = {}
+    replica = index.copy()
+
+    def snap(epoch):
+        engine = QueryEngine(replica)
+        oracle[epoch] = {p: signature(engine.evaluate(p)) for p in paths}
+
+    snap(0)
+    replay = QueryService(replica.copy())
+    for i, batch in enumerate(ops):
+        replay.update(batch)
+        replica = replay.index
+        snap(i + 1)
+
+    # ---- live run: 4 readers at full speed, writer swapping in between
+    service = QueryService(index)
+    mismatches = []
+    errors = []
+    lock = threading.Lock()
+    writer_done = threading.Event()
+    n_readers = 4
+    # the writer passes the barrier with the readers, so no update can
+    # complete before every reader is live; readers also run a minimum
+    # number of cycles so the overlap is real, not vacuous
+    start = threading.Barrier(n_readers + 1)
+    min_iters = 10 * len(paths)
+
+    def reader():
+        start.wait(timeout=30)
+        i = 0
+        last_epoch = -1
+        while (
+            i < min_iters
+            or not writer_done.is_set()
+            or i % len(paths) != 0
+        ):
+            path = paths[i % len(paths)]
+            i += 1
+            try:
+                response = service.query(path)
+            except BaseException as exc:  # noqa: BLE001
+                with lock:
+                    errors.append(exc)
+                return
+            got = signature(response.results)
+            expected = oracle[response.epoch][path]
+            if got != expected:
+                with lock:
+                    mismatches.append((path, response.epoch))
+            if response.epoch < last_epoch:
+                with lock:
+                    mismatches.append(("epoch went backwards", response.epoch))
+            last_epoch = response.epoch
+            if i > 20_000:  # safety net on slow machines
+                break
+
+    readers = [threading.Thread(target=reader) for _ in range(n_readers)]
+    for t in readers:
+        t.start()
+    start.wait(timeout=30)
+    for batch in ops:
+        service.update(batch)
+    writer_done.set()
+    for t in readers:
+        t.join()
+
+    assert not errors
+    assert not mismatches
+    assert service.epoch == len(ops)
+    # final state agrees with the offline replay on both backends
+    final_engine = QueryEngine(service.index)
+    for path in paths:
+        assert signature(final_engine.evaluate(path)) == oracle[len(ops)][path]
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def http_service(arrays_index):
+    service = QueryService(arrays_index.copy())
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield service, base
+    server.shutdown()
+    server.server_close()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post_json(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestHTTP:
+    def test_query_endpoint(self, http_service):
+        service, base = http_service
+        status, data = get_json(f"{base}/query?path=//article//author&limit=5")
+        assert status == 200
+        assert data["epoch"] == 0
+        assert data["count"] == len(data["results"]) <= 5
+        first = data["results"][0]
+        assert {"score", "element", "doc", "tag", "bindings"} <= set(first)
+
+    def test_count_connected_stats(self, http_service):
+        service, base = http_service
+        status, count = get_json(f"{base}/count?path=//article//author")
+        assert status == 200 and count["count"] > 0
+        root = sorted(service.index.collection.documents)[0]
+        eid = service.index.collection.documents[root].root
+        status, conn = get_json(
+            f"{base}/connected?source={eid}&target={eid}"
+        )
+        assert status == 200 and conn["connected"] is True
+        status, stats = get_json(f"{base}/stats")
+        assert status == 200
+        assert stats["requests"].get("count", 0) == 1
+        assert stats["epoch"] == 0
+
+    def test_update_endpoint_hot_swaps(self, http_service):
+        service, base = http_service
+        root_doc = sorted(service.index.collection.documents)[0]
+        root = service.index.collection.documents[root_doc].root
+        status, report = post_json(
+            f"{base}/update",
+            {"ops": [{"op": "insert_element", "parent": root, "tag": "httpnote"}]},
+        )
+        assert status == 200 and report["epoch"] == 1
+        status, data = get_json(f"{base}/query?path=//article//httpnote")
+        assert status == 200 and data["epoch"] == 1
+        # every article reaching the insertion point (via citation
+        # links) matches; all matches target the one new element
+        assert data["count"] >= 1
+        assert {r["tag"] for r in data["results"]} == {"httpnote"}
+
+    def test_error_statuses(self, http_service):
+        _, base = http_service
+        for url in [
+            f"{base}/query?path=%%%bogus",
+            f"{base}/query",                      # missing path param
+            f"{base}/query?path=//article&limit=-1",
+            f"{base}/connected?source=x&target=1",
+            f"{base}/distance?source=0&target=1",  # not distance-aware
+        ]:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url)
+            assert err.value.code == 400
+            assert "error" in json.loads(err.value.read())
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{base}/no-such-endpoint")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post_json(f"{base}/update", {"ops": [{"op": "florble"}]})
+        assert err.value.code == 400
+        # valid JSON but not an object/list must be a 400, not a 500
+        for bad_body in ["a string", 42, {"ops": "not-a-list"}]:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(f"{base}/update", bad_body)
+            assert err.value.code == 400
+
+    def test_concurrent_http_clients(self, http_service):
+        service, base = http_service
+        errors = []
+
+        def client():
+            try:
+                for _ in range(10):
+                    status, data = get_json(
+                        f"{base}/query?path=//article//cite&limit=3"
+                    )
+                    assert status == 200
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert service.stats()["result_cache"]["hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+
+
+def test_cli_serve_smoke(tmp_path):
+    """`repro serve --max-requests` serves real HTTP and exits."""
+    from repro.cli import main
+
+    corpus = tmp_path / "corpus"
+    db = tmp_path / "hopi.db"
+    assert main(["generate", "dblp", "-n", "6", "-o", str(corpus)]) == 0
+    assert main(["build", str(corpus), "-o", str(db), "--backend", "arrays"]) == 0
+
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+
+    result = {}
+
+    def run():
+        result["rc"] = main([
+            "serve", str(db), "--port", str(port), "--max-requests", "1",
+        ])
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = 5.0
+    status = data = None
+    import time as _time
+    t0 = _time.time()
+    while _time.time() - t0 < deadline:
+        try:
+            status, data = get_json(
+                f"http://127.0.0.1:{port}/query?path=//article//author&limit=2"
+            )
+            break
+        except (urllib.error.URLError, ConnectionError):
+            _time.sleep(0.05)
+    thread.join(timeout=5)
+    assert status == 200
+    assert data["count"] >= 0
+    assert result.get("rc") == 0

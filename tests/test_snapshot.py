@@ -114,3 +114,36 @@ def test_load_rejects_truncated_snapshot(tmp_path, small_index):
         path.write_bytes(blob[:-cut])
         with pytest.raises(ValueError, match="truncated snapshot"):
             load_snapshot(path)
+
+
+def test_store_reload_picks_up_rewrites(tmp_path, small_index):
+    """The hot-reload path: an offline rebuild replaces the file; the
+    store re-reads it on reload() and serves the fresh cover."""
+    path = tmp_path / "live.snap"
+    store = SnapshotCoverStore(path)
+    store.save_cover(small_index.cover)
+    before = store.cover_size()
+
+    rebuilt = small_index.copy().rebuild(strategy="unpartitioned")
+    save_snapshot(path, rebuilt.cover)
+    assert store.cover_size() == before  # stale until told to reload
+    store.reload()
+    assert store.cover_size() == rebuilt.cover.size
+
+
+def test_store_reload_if_changed(tmp_path, small_index):
+    import os
+
+    path = tmp_path / "live.snap"
+    store = SnapshotCoverStore(path)
+    store.save_cover(small_index.cover)
+    assert store.reload_if_changed() is False
+
+    rebuilt = small_index.copy().rebuild(strategy="unpartitioned")
+    save_snapshot(path, rebuilt.cover)
+    # force a distinct mtime even on coarse-grained filesystems
+    stat = path.stat()
+    os.utime(path, (stat.st_atime, stat.st_mtime + 1))
+    assert store.reload_if_changed() is True
+    assert store.cover_size() == rebuilt.cover.size
+    assert store.reload_if_changed() is False
