@@ -7,6 +7,10 @@ with the paper's reference values. The pytest-benchmark wrappers in
 """
 
 from repro.bench.workloads import bench_dblp, bench_inex, workload_scale
+from repro.bench.build_bench import (
+    emit_bench_build_entry,
+    run_build_benchmark,
+)
 from repro.bench.harness import (
     BuildRow,
     MaintenanceRow,
@@ -23,6 +27,8 @@ from repro.bench.service_load import (
 )
 
 __all__ = [
+    "emit_bench_build_entry",
+    "run_build_benchmark",
     "emit_bench_service_entry",
     "run_service_benchmark",
     "service_query_mix",

@@ -2,9 +2,12 @@
 
 ``python -m repro.bench`` runs the Section-7 suite (the default);
 ``python -m repro.bench service`` drives the serving tier under
-concurrent load and appends to ``BENCH_service.json``; ``all`` runs
-both. Tables print at the configured scale (see ``REPRO_BENCH_SCALE``)
-next to the paper's reference values where applicable.
+concurrent load and appends to ``BENCH_service.json``;
+``python -m repro.bench build`` compares serial vs parallel
+divide-and-conquer builds and appends to ``BENCH_build.json``; ``all``
+runs everything. Tables print at the configured scale (see
+``REPRO_BENCH_SCALE``) next to the paper's reference values where
+applicable.
 """
 
 from __future__ import annotations
@@ -23,6 +26,10 @@ from repro.bench.harness import (
     run_query_benchmark,
     run_table1,
     run_table2,
+)
+from repro.bench.build_bench import (
+    emit_bench_build_entry,
+    run_build_benchmark,
 )
 from repro.bench.reporting import print_table
 from repro.bench.service_load import (
@@ -89,6 +96,39 @@ def run_service_suite() -> None:
     )
     assert swap["errors"] == 0, "hot swap produced failed requests"
     assert swap["torn"] == 0, "hot swap produced torn answers"
+
+
+def run_build_suite() -> None:
+    """The offline-build benchmark (appended to BENCH_build.json)."""
+    print(f"HOPI offline-build benchmark (scale {workload_scale()}x)\n")
+    result = run_build_benchmark()
+    entry = emit_bench_build_entry(result)
+
+    rows = []
+    for name, coll in result["collections"].items():
+        for backend, row in coll["backends"].items():
+            rows.append(
+                (
+                    name, backend, coll["num_partitions"],
+                    coll["num_cross_links"],
+                    round(row["serial_seconds"], 3),
+                    round(row["parallel_seconds"], 3),
+                    row["speedup"],
+                    "yes" if row["covers_identical"] else "NO",
+                )
+            )
+    print_table(
+        ["collection", "backend", "parts", "cross", "serial s",
+         f"{result['workers']}w s", "speedup", "identical"],
+        rows,
+        title=(
+            "Offline build: serial vs parallel divide-and-conquer "
+            f"(host CPUs: {result['host_cpus']}, "
+            f"speedups {result['speedup_source']}; "
+            "appended to BENCH_build.json)"
+        ),
+    )
+    assert entry["covers_identical_all"], "parallel covers diverged"
 
 
 def run_paper_suite() -> None:
@@ -233,7 +273,8 @@ def main() -> None:
                     "the serving-tier load generator",
     )
     parser.add_argument(
-        "suite", nargs="?", default="paper", choices=["paper", "service", "all"],
+        "suite", nargs="?", default="paper",
+        choices=["paper", "service", "build", "all"],
         help="which benchmark suite to run (default: paper)",
     )
     args = parser.parse_args()
@@ -241,6 +282,8 @@ def main() -> None:
         run_paper_suite()
     if args.suite in ("service", "all"):
         run_service_suite()
+    if args.suite in ("build", "all"):
+        run_build_suite()
 
 
 if __name__ == "__main__":

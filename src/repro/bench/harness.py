@@ -12,7 +12,6 @@ labels correspond to and report the concrete limits used.
 
 from __future__ import annotations
 
-import json
 import math
 import random
 import statistics
@@ -21,6 +20,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.bench.trajectory import anchored_trajectory_path, append_trajectory
 from repro.bench.workloads import bench_dblp, bench_inex
 from repro.core.cover_builder import build_cover
 from repro.core.hopi import HopiIndex, convert_cover
@@ -501,14 +501,8 @@ def run_backend_query_benchmark(
 
 
 def default_trajectory_path() -> Path:
-    """``BENCH_query.json`` at the repo root when running from a
-    checkout (anchored by ROADMAP.md), else the current directory —
-    so ``python -m repro.bench`` appends to one history regardless of
-    where it is launched from."""
-    candidate = Path(__file__).resolve().parents[3]
-    if (candidate / "ROADMAP.md").exists():
-        return candidate / "BENCH_query.json"
-    return Path("BENCH_query.json")
+    """The repo-root (or cwd) ``BENCH_query.json`` path."""
+    return anchored_trajectory_path("BENCH_query.json")
 
 
 def emit_bench_query_entry(
@@ -526,7 +520,6 @@ def emit_bench_query_entry(
     if path is None:
         path = default_trajectory_path()
     entry: Dict[str, object] = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "collection": collection_name,
         "workload": workload,
         "backends": {name: asdict(row) for name, row in rows.items()},
@@ -535,24 +528,7 @@ def emit_bench_query_entry(
         entry["speedup_arrays_vs_sets"] = round(
             rows["sets"].total_seconds / max(rows["arrays"].total_seconds, 1e-9), 2
         )
-    path = Path(path)
-    history: List[Dict[str, object]] = []
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-            history = loaded if isinstance(loaded, list) else [loaded]
-        except ValueError:
-            # never silently drop the trajectory: preserve the corrupt
-            # file next to the fresh one and start a new history
-            backup = path.with_suffix(path.suffix + ".corrupt")
-            backup.write_bytes(path.read_bytes())
-            print(
-                f"warning: {path} is not valid JSON; saved as {backup} "
-                "and started a fresh trajectory"
-            )
-    history.append(entry)
-    path.write_text(json.dumps(history, indent=2) + "\n")
-    return entry
+    return append_trajectory(path, entry)
 
 
 def run_query_benchmark(

@@ -25,13 +25,13 @@ records the serving-tier trajectory:
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.bench.trajectory import anchored_trajectory_path, append_trajectory
 from repro.bench.workloads import bench_dblp
 from repro.core.hopi import HopiIndex
 from repro.query.engine import QueryEngine
@@ -414,12 +414,8 @@ def run_service_benchmark(
 
 
 def default_service_trajectory_path() -> Path:
-    """``BENCH_service.json`` at the repo root when running from a
-    checkout (anchored by ROADMAP.md), else the current directory."""
-    candidate = Path(__file__).resolve().parents[3]
-    if (candidate / "ROADMAP.md").exists():
-        return candidate / "BENCH_service.json"
-    return Path("BENCH_service.json")
+    """The repo-root (or cwd) ``BENCH_service.json`` path."""
+    return anchored_trajectory_path("BENCH_service.json")
 
 
 def emit_bench_service_entry(
@@ -430,23 +426,4 @@ def emit_bench_service_entry(
     """Append one entry to the ``BENCH_service.json`` trajectory."""
     if path is None:
         path = default_service_trajectory_path()
-    entry = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        **result,
-    }
-    path = Path(path)
-    history: List[Dict[str, object]] = []
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-            history = loaded if isinstance(loaded, list) else [loaded]
-        except ValueError:
-            backup = path.with_suffix(path.suffix + ".corrupt")
-            backup.write_bytes(path.read_bytes())
-            print(
-                f"warning: {path} is not valid JSON; saved as {backup} "
-                "and started a fresh trajectory"
-            )
-    history.append(entry)
-    path.write_text(json.dumps(history, indent=2) + "\n")
-    return entry
+    return append_trajectory(path, result)

@@ -1,0 +1,60 @@
+"""Shared plumbing for the ``BENCH_*.json`` trajectory files.
+
+Every benchmark suite appends structured entries to a JSON list at the
+repo root (``BENCH_query.json`` / ``BENCH_service.json`` /
+``BENCH_build.json``) so future PRs can diff performance against
+history. The anchor-resolution and append-with-corruption-backup logic
+lives here once; the per-suite ``emit_bench_*_entry`` functions only
+shape their entry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Union
+
+PathLike = Union[str, Path]
+
+
+def anchored_trajectory_path(filename: str) -> Path:
+    """``filename`` at the repo root when running from a checkout
+    (anchored by ROADMAP.md), else the current directory — so
+    ``python -m repro.bench`` appends to one history regardless of
+    where it is launched from."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "ROADMAP.md").exists():
+        return candidate / filename
+    return Path(filename)
+
+
+def append_trajectory(
+    path: PathLike, entry: Dict[str, object]
+) -> Dict[str, object]:
+    """Append ``entry`` (timestamped) to the JSON list at ``path``.
+
+    The file holds a JSON list; a non-list file is coerced into one. A
+    corrupt file is never silently dropped: it is preserved next to the
+    fresh history as ``<path>.corrupt``. Returns the stored entry.
+    """
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **entry,
+    }
+    path = Path(path)
+    history: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            history = loaded if isinstance(loaded, list) else [loaded]
+        except ValueError:
+            backup = path.with_suffix(path.suffix + ".corrupt")
+            backup.write_bytes(path.read_bytes())
+            print(
+                f"warning: {path} is not valid JSON; saved as {backup} "
+                "and started a fresh trajectory"
+            )
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return entry

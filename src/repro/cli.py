@@ -5,6 +5,10 @@ Usage (also via ``python -m repro``)::
     # index a directory of XML files into a self-contained database
     python -m repro build docs/*.xml -o index.db --strategy recursive
 
+    # same, but cover partitions concurrently in a 4-process pool
+    python -m repro build docs/*.xml -o index.db --workers 4 \\
+        --partitioner node-weight
+
     # generate a synthetic benchmark collection as XML files
     python -m repro generate dblp -n 100 -o corpus/
 
@@ -70,12 +74,16 @@ def cmd_build(args: argparse.Namespace) -> int:
         edge_weight=args.edge_weight,
         distance=args.distance,
         backend=args.backend,
+        workers=args.workers,
+        executor=args.executor,
     )
     stats = index.stats
     print(
         f"built in {stats.seconds_total:.2f}s "
         f"({stats.num_partitions} partitions, |L| = {stats.cover_size}, "
-        f"backend = {stats.backend})"
+        f"backend = {stats.backend}, executor = {stats.executor}"
+        + (f", workers = {stats.workers}" if stats.executor == "process" else "")
+        + ")"
     )
     persist_index(index, args.output).close()
     print(f"written to {args.output}")
@@ -209,7 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="recursive",
                    choices=["unpartitioned", "incremental", "recursive"])
     p.add_argument("--partitioner", default="closure",
-                   choices=["node_weight", "closure", "single"])
+                   choices=["node_weight", "node-weight", "closure",
+                            "closure-size", "single"],
+                   help="document partitioner: node-weight (Section 3.3 "
+                        "element-count budget) or closure-size (Section "
+                        "4.3 closure-connection budget); 'single' puts "
+                        "every document in its own partition")
     p.add_argument("--partition-limit", type=int, default=None)
     p.add_argument("--edge-weight", default="links",
                    choices=["links", "AxD", "A+D"])
@@ -218,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="sets", choices=["sets", "arrays"],
                    help="label backend: dict-of-sets, or interned dense "
                         "ids with sorted arrays (identical answers)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="build partition covers in an N-process pool "
+                        "(Section 4's parallel divide-and-conquer; "
+                        "covers are bit-identical to a serial build)")
+    p.add_argument("--executor", default=None, choices=["serial", "process"],
+                   help="partition-cover executor (default: process when "
+                        "--workers > 1, else serial)")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("generate", help="write a synthetic XML collection")

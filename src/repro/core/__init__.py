@@ -16,6 +16,9 @@ Modules:
   skeleton graph with anc/desc weight estimation (Sections 4.1, 4.3).
 * :mod:`repro.core.join` — the original incremental and the new
   structurally recursive partition-cover joins (Sections 3.3, 4.1).
+* :mod:`repro.core.pipeline` — the divide-and-conquer build
+  orchestrator with pluggable serial / multiprocessing executors
+  (Section 4's parallel construction).
 * :mod:`repro.core.distance` — distance-aware cover construction
   (Section 5).
 * :mod:`repro.core.maintenance` — incremental insertions and deletions
@@ -30,8 +33,10 @@ from repro.core.distance import build_distance_cover
 from repro.core.hopi import BuildStats, HopiIndex
 from repro.core.partitioning import Partitioning, partition_by_closure_size, partition_by_node_weight
 from repro.core.join import join_covers_incremental, join_covers_recursive
+from repro.core.pipeline import BuildPipeline
 
 __all__ = [
+    "BuildPipeline",
     "DistanceTwoHopCover",
     "TwoHopCover",
     "build_cover",

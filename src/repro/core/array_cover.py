@@ -80,6 +80,7 @@ def sorted_remove(arr: array, x: int) -> bool:
 
 
 def sorted_contains(arr: Sequence[int], x: int) -> bool:
+    """Binary-search membership test on a sorted array."""
     i = bisect_left(arr, x)
     return i < len(arr) and arr[i] == x
 
@@ -375,6 +376,7 @@ class ArrayTwoHopCover(_ArrayCoverBase):
         return True
 
     def discard_lin(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lin(node)`` if present."""
         ni, ci = self.interner.get(node), self.interner.get(center)
         if ni is None or ci is None:
             return
@@ -383,6 +385,7 @@ class ArrayTwoHopCover(_ArrayCoverBase):
             self._inv_discard(self._inv_lin, ci, ni)
 
     def discard_lout(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lout(node)`` if present."""
         ni, ci = self.interner.get(node), self.interner.get(center)
         if ni is None or ci is None:
             return
@@ -455,6 +458,7 @@ class ArrayTwoHopCover(_ArrayCoverBase):
                 self.add_lout(node, center)
 
     def copy(self) -> "ArrayTwoHopCover":
+        """A structurally independent deep copy of the cover."""
         clone = ArrayTwoHopCover()
         clone.interner = self.interner.copy()
         clone._nodes = set(self._nodes)
@@ -468,11 +472,13 @@ class ArrayTwoHopCover(_ArrayCoverBase):
     # queries (Section 3.4 semantics)
     # ------------------------------------------------------------------
     def lin_of(self, node: Node) -> Set[Node]:
+        """``Lin(node)``: centers (reachability) or ``{center: dist}``."""
         ni = self.interner.get(node)
         row = self._row(self._lin, ni) if ni is not None else None
         return self._externalize(row) if row else set()
 
     def lout_of(self, node: Node) -> Set[Node]:
+        """``Lout(node)``: centers (reachability) or ``{center: dist}``."""
         ni = self.interner.get(node)
         row = self._row(self._lout, ni) if ni is not None else None
         return self._externalize(row) if row else set()
@@ -569,6 +575,7 @@ class ArrayTwoHopCover(_ArrayCoverBase):
 
     @classmethod
     def from_csr(cls, payload: Mapping[str, object]) -> "ArrayTwoHopCover":
+        """Rebuild a cover from a :meth:`to_csr` payload (block copies)."""
         new = cls()
         new.interner = NodeInterner(payload["labels"])
         new._nodes = set(payload["active"])
@@ -681,9 +688,11 @@ class ArrayDistanceCover(_ArrayCoverBase):
             self._inv_discard(inv, ci, ni)
 
     def discard_lin(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lin(node)`` if present."""
         self._discard(self._lin, self._lin_dist, self._inv_lin, node, center)
 
     def discard_lout(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lout(node)`` if present."""
         self._discard(self._lout, self._lout_dist, self._inv_lout, node, center)
 
     def _set_label(
@@ -712,12 +721,15 @@ class ArrayDistanceCover(_ArrayCoverBase):
             dists[ni] = None
 
     def set_lin(self, node: Node, entries: Mapping[Node, int]) -> None:
+        """Replace ``Lin(node)`` wholesale (used by Theorems 2 and 3)."""
         self._set_label(self._lin, self._lin_dist, self._inv_lin, node, entries)
 
     def set_lout(self, node: Node, entries: Mapping[Node, int]) -> None:
+        """Replace ``Lout(node)`` wholesale (used by Theorems 2 and 3)."""
         self._set_label(self._lout, self._lout_dist, self._inv_lout, node, entries)
 
     def remove_nodes(self, removed: Set[Node]) -> None:
+        """Drop nodes from the universe, their labels, and every label entry using them as a center."""
         removed_ids = []
         for v in removed:
             iid = self.interner.get(v)
@@ -747,6 +759,7 @@ class ArrayDistanceCover(_ArrayCoverBase):
             self._inv_lout[iid] = None
 
     def union(self, other) -> None:
+        """Component-wise union with any distance cover (min distances win)."""
         self.add_nodes(other.nodes)
         for kind, node, center, dist in other.entries():
             if kind == "in":
@@ -755,6 +768,7 @@ class ArrayDistanceCover(_ArrayCoverBase):
                 self.add_lout(node, center, dist)
 
     def copy(self) -> "ArrayDistanceCover":
+        """A structurally independent deep copy of the cover."""
         clone = ArrayDistanceCover()
         clone.interner = self.interner.copy()
         clone._nodes = set(self._nodes)
@@ -773,6 +787,7 @@ class ArrayDistanceCover(_ArrayCoverBase):
     # queries
     # ------------------------------------------------------------------
     def lin_of(self, node: Node) -> Dict[Node, int]:
+        """``Lin(node)``: centers (reachability) or ``{center: dist}``."""
         ni = self.interner.get(node)
         centers = self._row(self._lin, ni) if ni is not None else None
         if not centers:
@@ -782,6 +797,7 @@ class ArrayDistanceCover(_ArrayCoverBase):
         return {label(c): d for c, d in zip(centers, dists)}
 
     def lout_of(self, node: Node) -> Dict[Node, int]:
+        """``Lout(node)``: centers (reachability) or ``{center: dist}``."""
         ni = self.interner.get(node)
         centers = self._row(self._lout, ni) if ni is not None else None
         if not centers:
@@ -824,6 +840,7 @@ class ArrayDistanceCover(_ArrayCoverBase):
         return best
 
     def connected(self, u: Node, v: Node) -> bool:
+        """``u ->* v``? True iff a (shortest) witness distance exists."""
         return self.distance(u, v) is not None
 
     def descendants_within(self, u: Node, max_dist: int) -> Dict[Node, int]:
@@ -901,6 +918,7 @@ class ArrayDistanceCover(_ArrayCoverBase):
         return new
 
     def to_csr(self) -> Dict[str, object]:
+        """CSR snapshot payload (see :mod:`repro.storage.snapshot`)."""
         lin_indptr, lin_data = self._pack_table(self._lin)
         lout_indptr, lout_data = self._pack_table(self._lout)
         inv_lin_indptr, inv_lin_data = self._pack_table(self._inv_lin)
@@ -921,6 +939,7 @@ class ArrayDistanceCover(_ArrayCoverBase):
 
     @classmethod
     def from_csr(cls, payload: Mapping[str, object]) -> "ArrayDistanceCover":
+        """Rebuild a cover from a :meth:`to_csr` payload (block copies)."""
         new = cls()
         new.interner = NodeInterner(payload["labels"])
         new._nodes = set(payload["active"])

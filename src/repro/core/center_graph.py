@@ -33,10 +33,12 @@ class CenterGraph:
 
     @property
     def num_edges(self) -> int:
+        """Uncovered connections running through the center."""
         return sum(len(vs) for vs in self.adj.values())
 
     @property
     def num_nodes(self) -> int:
+        """Bipartite node count: |in side| + |out side|."""
         out_side: Set[Node] = set()
         for vs in self.adj.values():
             out_side.update(vs)

@@ -63,48 +63,90 @@ class CoverProtocol(Protocol):
     # universe
     nodes: Iterable[Node]
 
-    def add_node(self, v: Node) -> None: ...
+    def add_node(self, v: Node) -> None:
+        """Register ``v`` in the node universe (idempotent)."""
+        ...
 
-    def add_nodes(self, nodes: Iterable[Node]) -> None: ...
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Register every node of ``nodes`` in the universe."""
+        ...
 
-    def remove_nodes(self, removed: Set[Node]) -> None: ...
+    def remove_nodes(self, removed: Set[Node]) -> None:
+        """Drop nodes from the universe, their labels, and every label
+        entry using them as a center."""
+        ...
 
     # label access / mutation (signatures vary by distance-awareness;
     # see class docstrings)
-    def lin_of(self, node: Node): ...
+    def lin_of(self, node: Node):
+        """``Lin(node)``: a center set (reachability) or a
+        ``{center: dist}`` mapping (distance covers)."""
+        ...
 
-    def lout_of(self, node: Node): ...
+    def lout_of(self, node: Node):
+        """``Lout(node)``: a center set (reachability) or a
+        ``{center: dist}`` mapping (distance covers)."""
+        ...
 
-    def discard_lin(self, node: Node, center: Node) -> None: ...
+    def discard_lin(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lin(node)`` if present."""
+        ...
 
-    def discard_lout(self, node: Node, center: Node) -> None: ...
+    def discard_lout(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lout(node)`` if present."""
+        ...
 
-    def nodes_with_lin_center(self, center: Node) -> Set[Node]: ...
+    def nodes_with_lin_center(self, center: Node) -> Set[Node]:
+        """Backward-index lookup: nodes whose ``Lin`` holds ``center``."""
+        ...
 
-    def nodes_with_lout_center(self, center: Node) -> Set[Node]: ...
+    def nodes_with_lout_center(self, center: Node) -> Set[Node]:
+        """Backward-index lookup: nodes whose ``Lout`` holds ``center``."""
+        ...
 
-    def union(self, other) -> None: ...
+    def union(self, other) -> None:
+        """Component-wise union with any same-flavour cover (backends
+        can mix; entries stream through ``other.entries()``)."""
+        ...
 
-    def copy(self): ...
+    def copy(self):
+        """A structurally independent deep copy of the cover."""
+        ...
 
     # queries
-    def connected(self, u: Node, v: Node) -> bool: ...
+    def connected(self, u: Node, v: Node) -> bool:
+        """Reachability test ``u ->* v`` via one label intersection."""
+        ...
 
-    def connected_many(self, u: Node, candidates: Sequence[Node]) -> List[bool]: ...
+    def connected_many(self, u: Node, candidates: Sequence[Node]) -> List[bool]:
+        """Batched ``[connected(u, c) for c in candidates]``."""
+        ...
 
-    def descendants(self, u: Node) -> Set[Node]: ...
+    def descendants(self, u: Node) -> Set[Node]:
+        """All ``d`` with ``u ->* d``, including ``u`` itself."""
+        ...
 
-    def ancestors(self, v: Node) -> Set[Node]: ...
+    def ancestors(self, v: Node) -> Set[Node]:
+        """All ``a`` with ``a ->* v``, including ``v`` itself."""
+        ...
 
     # statistics & persistence
     @property
-    def size(self) -> int: ...
+    def size(self) -> int:
+        """``|L| = Σ |Lin(v)| + |Lout(v)|`` — the paper's cover size."""
+        ...
 
-    def stored_integers(self, *, with_backward_index: bool = True) -> int: ...
+    def stored_integers(self, *, with_backward_index: bool = True) -> int:
+        """Integers a relational store would hold for this cover."""
+        ...
 
-    def entries(self) -> Iterator[Tuple]: ...
+    def entries(self) -> Iterator[Tuple]:
+        """Every label entry as ``(kind, node, center[, dist])`` tuples."""
+        ...
 
-    def verify_against(self, closure, nodes: Optional[Iterable[Node]] = None) -> None: ...
+    def verify_against(self, closure, nodes: Optional[Iterable[Node]] = None) -> None:
+        """Assert the cover answers exactly like a closure oracle."""
+        ...
 
 
 class TwoHopCover:
@@ -129,9 +171,11 @@ class TwoHopCover:
     # label mutation
     # ------------------------------------------------------------------
     def add_node(self, v: Node) -> None:
+        """Register ``v`` in the node universe (idempotent)."""
         self.nodes.add(v)
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Register every node of ``nodes`` in the universe."""
         self.nodes.update(nodes)
 
     def add_lin(self, node: Node, center: Node) -> bool:
@@ -165,12 +209,14 @@ class TwoHopCover:
         return True
 
     def discard_lin(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lin(node)`` if present."""
         entries = self.lin.get(node)
         if entries and center in entries:
             entries.discard(center)
             self._inv_lin[center].discard(node)
 
     def discard_lout(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lout(node)`` if present."""
         entries = self.lout.get(node)
         if entries and center in entries:
             entries.discard(center)
@@ -222,6 +268,7 @@ class TwoHopCover:
                 self.add_lout(node, center)
 
     def copy(self) -> "TwoHopCover":
+        """A structurally independent deep copy of the cover."""
         clone = TwoHopCover(self.nodes)
         clone.lin = {v: set(c) for v, c in self.lin.items()}
         clone.lout = {v: set(c) for v, c in self.lout.items()}
@@ -233,9 +280,11 @@ class TwoHopCover:
     # queries (Section 3.4 semantics)
     # ------------------------------------------------------------------
     def lin_of(self, node: Node) -> Set[Node]:
+        """``Lin(node)`` (empty set for unlabeled nodes)."""
         return self.lin.get(node, set())
 
     def lout_of(self, node: Node) -> Set[Node]:
+        """``Lout(node)`` (empty set for unlabeled nodes)."""
         return self.lout.get(node, set())
 
     def nodes_with_lin_center(self, center: Node) -> Set[Node]:
@@ -377,9 +426,11 @@ class DistanceTwoHopCover:
     # label mutation
     # ------------------------------------------------------------------
     def add_node(self, v: Node) -> None:
+        """Register ``v`` in the node universe (idempotent)."""
         self.nodes.add(v)
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Register every node of ``nodes`` in the universe."""
         self.nodes.update(nodes)
 
     def add_lin(self, node: Node, center: Node, dist: int) -> bool:
@@ -409,6 +460,7 @@ class DistanceTwoHopCover:
         return False
 
     def set_lin(self, node: Node, entries: Dict[Node, int]) -> None:
+        """Replace ``Lin(node)`` wholesale (used by Theorems 2 and 3)."""
         for c in self.lin.get(node, ()):
             self._inv_lin[c].discard(node)
         new = {c: d for c, d in entries.items() if c != node}
@@ -417,6 +469,7 @@ class DistanceTwoHopCover:
             self._inv_lin.setdefault(c, set()).add(node)
 
     def set_lout(self, node: Node, entries: Dict[Node, int]) -> None:
+        """Replace ``Lout(node)`` wholesale (used by Theorems 2 and 3)."""
         for c in self.lout.get(node, ()):
             self._inv_lout[c].discard(node)
         new = {c: d for c, d in entries.items() if c != node}
@@ -425,6 +478,7 @@ class DistanceTwoHopCover:
             self._inv_lout.setdefault(c, set()).add(node)
 
     def remove_nodes(self, removed: Set[Node]) -> None:
+        """Drop nodes from the universe, their labels, and every label entry using them as a center."""
         self.nodes -= removed
         for v in removed:
             self.set_lin(v, {})
@@ -453,6 +507,7 @@ class DistanceTwoHopCover:
                 self.add_lout(node, center, dist)
 
     def copy(self) -> "DistanceTwoHopCover":
+        """A structurally independent deep copy of the cover."""
         clone = DistanceTwoHopCover(self.nodes)
         clone.lin = {v: dict(c) for v, c in self.lin.items()}
         clone.lout = {v: dict(c) for v, c in self.lout.items()}
@@ -461,12 +516,14 @@ class DistanceTwoHopCover:
         return clone
 
     def discard_lin(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lin(node)`` if present."""
         entries = self.lin.get(node)
         if entries and center in entries:
             del entries[center]
             self._inv_lin[center].discard(node)
 
     def discard_lout(self, node: Node, center: Node) -> None:
+        """Remove ``center`` from ``Lout(node)`` if present."""
         entries = self.lout.get(node)
         if entries and center in entries:
             del entries[center]
@@ -476,9 +533,11 @@ class DistanceTwoHopCover:
     # queries
     # ------------------------------------------------------------------
     def lin_of(self, node: Node) -> Dict[Node, int]:
+        """``Lin(node)``: centers (reachability) or ``{center: dist}``."""
         return self.lin.get(node, {})
 
     def lout_of(self, node: Node) -> Dict[Node, int]:
+        """``Lout(node)``: centers (reachability) or ``{center: dist}``."""
         return self.lout.get(node, {})
 
     def nodes_with_lin_center(self, center: Node) -> Set[Node]:
@@ -520,6 +579,7 @@ class DistanceTwoHopCover:
         return best
 
     def connected(self, u: Node, v: Node) -> bool:
+        """``u ->* v``? True iff a (shortest) witness distance exists."""
         return self.distance(u, v) is not None
 
     def connected_many(self, u: Node, candidates: Sequence[Node]) -> List[bool]:
@@ -527,6 +587,7 @@ class DistanceTwoHopCover:
         return [self.connected(u, c) for c in candidates]
 
     def descendants(self, u: Node) -> Set[Node]:
+        """All ``d`` with ``u ->* d`` (including ``u``)."""
         if u not in self.nodes:
             return set()
         result: Set[Node] = {u}
@@ -539,6 +600,7 @@ class DistanceTwoHopCover:
         return result
 
     def ancestors(self, v: Node) -> Set[Node]:
+        """All ``a`` with ``a ->* v`` (including ``v``)."""
         if v not in self.nodes:
             return set()
         result: Set[Node] = {v}
@@ -568,6 +630,7 @@ class DistanceTwoHopCover:
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
+        """``|L| = Σ |Lin(v)| + |Lout(v)|`` — the paper's cover size."""
         return sum(len(c) for c in self.lin.values()) + sum(
             len(c) for c in self.lout.values()
         )

@@ -27,7 +27,7 @@ and expands the component labels back to the original nodes.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.center_graph import densest_subgraph, initial_density_upper_bound
 from repro.core.cover import TwoHopCover
@@ -266,3 +266,54 @@ def build_cover(
                 cover.add_lout(v, rep[c])
         return cover
     return expand_component_cover(comp_cover, cond, cover_factory=cover_factory)
+
+
+def build_partition_cover(
+    nodes: Sequence[Node],
+    edges: Sequence[Tuple[Node, Node]],
+    *,
+    preselected_centers: Iterable[Node] = (),
+    distance: bool = False,
+    cover_factory: Optional[CoverFactory] = None,
+) -> TwoHopCover:
+    """Build the 2-hop cover of one partition from its raw graph data.
+
+    The unit of work of the divide-and-conquer build: the partition's
+    element graph arrives as plain node and edge lists (compact and
+    picklable, so :mod:`repro.core.pipeline` can ship the same task to
+    a ``multiprocessing`` worker or run it inline), the graph is
+    reassembled, and the usual builder runs on it.
+
+    Args:
+        nodes: every element of the partition (isolated ones included).
+        edges: the element-level edges with both endpoints inside.
+        preselected_centers: cross-partition link targets to force as
+            centers first (Section 4.2).
+        distance: build a distance-aware cover (Section 5).
+        cover_factory: backend constructor; defaults to the set backend
+            of the requested flavour. The greedy construction consults
+            only the closure, so the resulting *entries* are identical
+            for every factory.
+
+    Returns:
+        The partition's cover in the requested representation.
+    """
+    graph = DiGraph()
+    for v in nodes:
+        graph.add_node(v)
+    graph.add_edges(edges)
+    preselected = sorted(preselected_centers)
+    if distance:
+        from repro.core.distance import build_distance_cover
+        from repro.core.cover import DistanceTwoHopCover
+
+        return build_distance_cover(
+            graph,
+            preselected_centers=preselected,
+            cover_factory=cover_factory or DistanceTwoHopCover,
+        )
+    return build_cover(
+        graph,
+        preselected_centers=preselected,
+        cover_factory=cover_factory or TwoHopCover,
+    )

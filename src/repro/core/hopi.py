@@ -33,36 +33,17 @@ on the skeleton graph).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set, Union
+from typing import Callable, List, Optional, Set, Union
 
 from repro.core import maintenance as maint
 from repro.core.array_cover import ArrayDistanceCover, ArrayTwoHopCover
 from repro.core.cover import DistanceTwoHopCover, TwoHopCover
-from repro.core.cover_builder import build_cover
-from repro.core.distance import build_distance_cover
-from repro.core.join import (
-    join_covers_incremental,
-    join_covers_incremental_distance,
-    join_covers_recursive,
-)
-from repro.core.partitioning import (
-    Partitioning,
-    partition_by_closure_size,
-    partition_by_node_weight,
-    single_document_partitioning,
-)
-from repro.core.skeleton import connection_edge_weight
 from repro.core.stats import IndexSizeReport
 from repro.graph.closure import distance_closure, transitive_closure
 from repro.xmlmodel.model import Collection, DocId, ElementId
 
 Cover = Union[TwoHopCover, DistanceTwoHopCover, ArrayTwoHopCover, ArrayDistanceCover]
-
-_STRATEGIES = ("unpartitioned", "incremental", "recursive")
-_PARTITIONERS = ("node_weight", "closure", "single")
-_EDGE_WEIGHTS = ("links", "AxD", "A+D")
 
 #: label backends: name -> (reachability factory, distance factory)
 BACKENDS = {
@@ -112,6 +93,8 @@ class BuildStats:
     num_nodes: int
     seconds_total: float
     backend: str = "sets"
+    workers: int = 1
+    executor: str = "serial"
     seconds_partitioning: float = 0.0
     seconds_partition_covers: float = 0.0
     seconds_join: float = 0.0
@@ -159,6 +142,7 @@ class HopiIndex:
         self._change_hooks.append(hook)
 
     def remove_change_hook(self, hook) -> None:
+        """Unregister a hook added with :meth:`add_change_hook`."""
         self._change_hooks.remove(hook)
 
     def _bump_epoch_hook(self, report: Optional[maint.MaintenanceReport]) -> None:
@@ -211,14 +195,20 @@ class HopiIndex:
         psg_node_limit: Optional[int] = None,
         seed: int = 0,
         backend: str = "sets",
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> "HopiIndex":
         """Build a HOPI index.
+
+        A thin wrapper over :class:`repro.core.pipeline.BuildPipeline`,
+        which owns the partition → per-partition cover → join flow.
 
         Args:
             collection: the XML collection to index.
             strategy: ``"unpartitioned"``, ``"incremental"`` or
                 ``"recursive"`` (see module docstring).
-            partitioner: ``"node_weight"``, ``"closure"`` or ``"single"``.
+            partitioner: ``"node_weight"``, ``"closure"`` or ``"single"``
+                (CLI aliases ``node-weight`` / ``closure-size`` accepted).
             partition_limit: max elements per partition
                 (``node_weight``) or max closure connections
                 (``closure``); sensible defaults are derived from the
@@ -233,140 +223,30 @@ class HopiIndex:
             backend: label backend — ``"sets"`` (dict-of-sets over raw
                 node ids) or ``"arrays"`` (interned dense ids + sorted
                 arrays); identical answers, different representation.
+            workers: size of the process pool covering partitions
+                concurrently (the paper's Section-4 parallel build);
+                ``None``/1 builds serially. Covers are bit-identical
+                for every worker count.
+            executor: ``"serial"`` or ``"process"``; defaults to
+                ``"process"`` when ``workers > 1``.
         """
-        if strategy not in _STRATEGIES:
-            raise ValueError(f"unknown strategy {strategy!r}; one of {_STRATEGIES}")
-        if partitioner not in _PARTITIONERS:
-            raise ValueError(
-                f"unknown partitioner {partitioner!r}; one of {_PARTITIONERS}"
-            )
-        if edge_weight not in _EDGE_WEIGHTS:
-            raise ValueError(
-                f"unknown edge weight {edge_weight!r}; one of {_EDGE_WEIGHTS}"
-            )
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; one of {tuple(BACKENDS)}")
-        plain_factory, distance_factory = BACKENDS[backend]
-        start = time.perf_counter()
+        from repro.core.pipeline import BuildPipeline
 
-        if strategy == "unpartitioned":
-            graph = collection.element_graph()
-            if distance:
-                cover: Cover = build_distance_cover(
-                    graph, cover_factory=distance_factory
-                )
-            else:
-                cover = build_cover(graph, cover_factory=plain_factory)
-            stats = BuildStats(
-                strategy=strategy,
-                partitioner=None,
-                partition_limit=None,
-                edge_weight=edge_weight,
-                distance=distance,
-                num_partitions=1,
-                num_cross_links=0,
-                cover_size=cover.size,
-                num_nodes=len(cover.nodes),
-                seconds_total=time.perf_counter() - start,
-                backend=backend,
-            )
-            return cls(collection, cover, stats=stats)
-
-        # ---- step 1: partition the document-level graph ----------------
-        t0 = time.perf_counter()
-        weight_fn = None
-        if edge_weight in ("AxD", "A+D") and collection.inter_links:
-            weight_fn = connection_edge_weight(collection, mode=edge_weight)
-        if partitioner == "single":
-            partitioning = single_document_partitioning(collection)
-        elif partitioner == "node_weight":
-            limit = partition_limit or max(
-                collection.num_elements // 8, 1
-            )
-            partitioning = partition_by_node_weight(
-                collection, limit, edge_weight=weight_fn, seed=seed
-            )
-        else:
-            limit = partition_limit or max(collection.num_elements * 20, 1000)
-            partitioning = partition_by_closure_size(
-                collection, limit, edge_weight=weight_fn, seed=seed
-            )
-        seconds_partitioning = time.perf_counter() - t0
-
-        # ---- step 2: cover each partition (concurrently in the paper) --
-        cross_targets_by_partition: Dict[int, List[ElementId]] = {}
-        if preselect_centers:
-            for _, v in partitioning.cross_links:
-                pid = partitioning.part_of[collection.doc(v)]
-                cross_targets_by_partition.setdefault(pid, []).append(v)
-        partition_covers: List[Cover] = []
-        partition_seconds: List[float] = []
-        t0 = time.perf_counter()
-        for pid, docs in enumerate(partitioning.partitions):
-            t1 = time.perf_counter()
-            sub = collection.subcollection(docs)
-            graph = sub.element_graph()
-            preselected = sorted(cross_targets_by_partition.get(pid, []))
-            if distance:
-                pcov: Cover = build_distance_cover(
-                    graph,
-                    preselected_centers=preselected,
-                    cover_factory=distance_factory,
-                )
-            else:
-                pcov = build_cover(
-                    graph,
-                    preselected_centers=preselected,
-                    cover_factory=plain_factory,
-                )
-            partition_covers.append(pcov)
-            partition_seconds.append(time.perf_counter() - t1)
-        seconds_partition_covers = time.perf_counter() - t0
-
-        # ---- step 3: join the partition covers --------------------------
-        t0 = time.perf_counter()
-        if distance:
-            # Section 5 notes the build algorithms carry over; the
-            # recursive join's H̄ has no distance analogue in the paper,
-            # so distance builds use the incremental join to a fixpoint.
-            cover = join_covers_incremental_distance(
-                partition_covers,
-                partitioning.cross_links,
-                cover_factory=distance_factory,
-            )
-        elif strategy == "incremental":
-            cover = join_covers_incremental(
-                partition_covers,
-                partitioning.cross_links,
-                cover_factory=plain_factory,
-            )
-        else:
-            cover = join_covers_recursive(
-                collection,
-                partitioning,
-                partition_covers,
-                psg_node_limit=psg_node_limit,
-                cover_factory=plain_factory,
-            )
-        seconds_join = time.perf_counter() - t0
-
-        stats = BuildStats(
+        pipeline = BuildPipeline(
+            collection,
             strategy=strategy,
             partitioner=partitioner,
             partition_limit=partition_limit,
             edge_weight=edge_weight,
             distance=distance,
-            num_partitions=partitioning.num_partitions,
-            num_cross_links=len(partitioning.cross_links),
-            cover_size=cover.size,
-            num_nodes=len(cover.nodes),
-            seconds_total=time.perf_counter() - start,
+            preselect_centers=preselect_centers,
+            psg_node_limit=psg_node_limit,
+            seed=seed,
             backend=backend,
-            seconds_partitioning=seconds_partitioning,
-            seconds_partition_covers=seconds_partition_covers,
-            seconds_join=seconds_join,
-            partition_cover_seconds=partition_seconds,
+            workers=workers,
+            executor=executor,
         )
+        cover, stats = pipeline.run()
         return cls(collection, cover, stats=stats)
 
     # ------------------------------------------------------------------
@@ -374,6 +254,7 @@ class HopiIndex:
     # ------------------------------------------------------------------
     @property
     def is_distance_aware(self) -> bool:
+        """Whether the cover stores distances (Section 5 flavour)."""
         return self.cover.is_distance_aware
 
     def connected(self, u: ElementId, v: ElementId) -> bool:
@@ -401,9 +282,11 @@ class HopiIndex:
         return self.cover.distance(u, v)
 
     def descendants(self, u: ElementId) -> Set[ElementId]:
+        """All elements reachable from ``u`` (including ``u``)."""
         return self.cover.descendants(u)
 
     def ancestors(self, v: ElementId) -> Set[ElementId]:
+        """All elements that reach ``v`` (including ``v``)."""
         return self.cover.ancestors(v)
 
     def size_report(self, *, with_closure: bool = False) -> IndexSizeReport:
@@ -424,16 +307,19 @@ class HopiIndex:
     # maintenance passthroughs (Section 6)
     # ------------------------------------------------------------------
     def insert_element(self, parent: ElementId, tag: str) -> ElementId:
+        """Insert a child element under ``parent`` (Section 6.1)."""
         return maint.insert_element(
             self.collection, self.cover, parent, tag, on_change=self._bump_epoch_hook
         )
 
     def insert_edge(self, u: ElementId, v: ElementId) -> maint.MaintenanceReport:
+        """Insert the edge/link ``u -> v`` and repair the cover."""
         return maint.insert_edge(
             self.collection, self.cover, u, v, on_change=self._bump_epoch_hook
         )
 
     def insert_document(self, doc_id: DocId) -> maint.MaintenanceReport:
+        """Integrate a document added to the collection (Section 6.1)."""
         return maint.insert_document(
             self.collection, self.cover, doc_id, on_change=self._bump_epoch_hook
         )
@@ -441,6 +327,7 @@ class HopiIndex:
     def delete_document(
         self, doc_id: DocId, *, force_general: bool = False
     ) -> maint.MaintenanceReport:
+        """Delete a document via the Theorem-2/3 paths (Section 6.2)."""
         return maint.delete_document(
             self.collection,
             self.cover,
@@ -450,11 +337,13 @@ class HopiIndex:
         )
 
     def delete_edge(self, u: ElementId, v: ElementId) -> maint.MaintenanceReport:
+        """Delete the edge/link ``u -> v`` and repair the cover."""
         return maint.delete_edge(
             self.collection, self.cover, u, v, on_change=self._bump_epoch_hook
         )
 
     def document_separates(self, doc_id: DocId) -> bool:
+        """Theorem-2 test: does the document's deletion stay local?"""
         return maint.document_separates(self.collection, doc_id)
 
     def rebuild(self, **build_kwargs) -> "HopiIndex":

@@ -73,6 +73,7 @@ class NodeInterner:
         return iter(self._labels)
 
     def copy(self) -> "NodeInterner":
+        """An independent interner with the same label <-> id mapping."""
         clone = NodeInterner()
         clone._id_of = dict(self._id_of)
         clone._labels = list(self._labels)

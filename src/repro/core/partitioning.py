@@ -32,6 +32,7 @@ Both accept a custom edge-weight function so the Section 4.3 ``A*D`` /
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
@@ -66,9 +67,11 @@ class Partitioning:
 
     @property
     def num_partitions(self) -> int:
+        """``m`` — how many partitions the collection was split into."""
         return len(self.partitions)
 
     def partition_of_element(self, collection: Collection, eid: int) -> int:
+        """The index of the partition holding element ``eid``'s document."""
         return self.part_of[collection.doc(eid)]
 
 
@@ -194,6 +197,14 @@ def partition_by_closure_size(
     be covered by the partition covers and reduces the number of
     cross-partition links."
 
+    Documents are atomic: when a *single* document's element-level
+    closure already exceeds the budget, the partitioner cannot split it
+    further, so it falls back gracefully — the document becomes a
+    singleton partition, and a single :class:`UserWarning` summarising
+    every such document is emitted so the over-budget partitions are
+    visible to the caller (each audit is budget-capped, and only
+    singleton partitions pay it).
+
     Args:
         collection: the collection to partition.
         max_closure_connections: the memory budget expressed as a number
@@ -214,6 +225,7 @@ def partition_by_closure_size(
     rng.shuffle(order)
 
     partitions: List[List[DocId]] = []
+    oversized: List[DocId] = []
     for doc in order:
         if doc not in unassigned:
             continue
@@ -231,8 +243,6 @@ def partition_by_closure_size(
             current.append(candidate)
             return True
 
-        # seed partition may already exceed the budget on its own; it
-        # still forms a singleton partition (documents are atomic).
         grown = _grow_partition(
             doc_graph,
             doc,
@@ -242,6 +252,35 @@ def partition_by_closure_size(
         )
         # _grow_partition tracked membership; `current` tracked closure
         partitions.append(grown)
+        # Only a partition that stayed a singleton can be over budget
+        # on its own (growth proves multi-document partitions fit), so
+        # the audit for the fallback warning runs only on singletons —
+        # and O(1) bounds dodge the closure pass when they decide: a
+        # document with E elements has between E-1 (each non-root is
+        # reached by its parent) and E*(E-1) (complete) connections.
+        if len(grown) == 1:
+            elements = collection.documents[doc].num_elements
+            if elements - 1 > max_closure_connections:
+                oversized.append(doc)
+            elif elements * (elements - 1) > max_closure_connections:
+                try:
+                    transitive_closure_size(
+                        collection.subcollection(grown).element_graph(),
+                        max_connections=max_closure_connections,
+                    )
+                except ClosureBudgetExceeded:
+                    oversized.append(doc)
+    if oversized:
+        warnings.warn(
+            f"{len(oversized)} document(s) have a transitive closure "
+            f"larger than the partition budget of "
+            f"{max_closure_connections} connections "
+            f"(e.g. {oversized[0]!r}); they were kept as over-budget "
+            "singleton partitions — raise max_closure_connections (or "
+            "partition_limit) to restore balanced partitions",
+            UserWarning,
+            stacklevel=2,
+        )
     part_of = {d: i for i, docs in enumerate(partitions) for d in docs}
     return Partitioning(partitions, compute_cross_links(collection, part_of), part_of)
 

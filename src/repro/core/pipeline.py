@@ -1,0 +1,462 @@
+"""The divide-and-conquer build pipeline (Sections 4 and 5).
+
+The paper's central scalability argument is that 2-hop cover
+construction parallelises along partition boundaries: partition the
+document collection, build every partition's cover *independently*
+("this can even be done on different machines"), then connect the
+partial covers along the cross-partition links. :class:`BuildPipeline`
+is that flow as an explicit three-phase orchestrator:
+
+1. **partition** — the document-level graph is split by one of the
+   partitioners in :mod:`repro.core.partitioning` (always in the
+   parent; it is cheap relative to covering);
+2. **partition covers** — each partition's element graph is shipped to
+   a pluggable :class:`PartitionExecutor` as a compact
+   :class:`PartitionTask` (node list + edge list + preselected
+   centers). The ``serial`` executor runs the builds inline; the
+   ``process`` executor fans them out over ``multiprocessing`` workers
+   that return their cover as a CSR snapshot blob
+   (:func:`repro.storage.snapshot.snapshot_to_bytes` — the same
+   encoding used for on-disk snapshots doubles as the wire format);
+3. **join** — the parent deterministically merges the partition covers
+   with the strategy's join (:mod:`repro.core.join`).
+
+Because the greedy cover construction consults only the partition
+closure — never the backend representation or the executor — the final
+cover's label entries are **bit-identical** across executors and
+worker counts, on both the ``sets`` and ``arrays`` backends; the
+randomized suite in ``tests/test_pipeline.py`` pins that property.
+
+Most callers reach this module through the facade::
+
+    index = HopiIndex.build(collection, workers=4)      # process pool
+    index = HopiIndex.build(collection)                 # serial, as before
+
+or the CLI: ``repro build docs/ -o index.db --workers 4``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cover_builder import build_partition_cover
+from repro.core.join import (
+    join_covers_incremental,
+    join_covers_incremental_distance,
+    join_covers_recursive,
+)
+from repro.core.partitioning import (
+    Partitioning,
+    partition_by_closure_size,
+    partition_by_node_weight,
+    single_document_partitioning,
+)
+from repro.core.skeleton import connection_edge_weight
+from repro.xmlmodel.model import Collection, ElementId
+
+# NOTE: repro.storage.snapshot (the wire format) is imported lazily in
+# the worker / decode paths — storage already imports repro.core, and a
+# module-level import here would make package initialisation order
+# sensitive to which side is imported first.
+
+_STRATEGIES = ("unpartitioned", "incremental", "recursive")
+_PARTITIONERS = ("node_weight", "closure", "single")
+_EDGE_WEIGHTS = ("links", "AxD", "A+D")
+
+#: CLI-friendly partitioner spellings accepted everywhere a partitioner
+#: name is (``repro build --partitioner node-weight|closure-size``).
+PARTITIONER_ALIASES = {
+    "node-weight": "node_weight",
+    "closure-size": "closure",
+}
+
+#: executor names accepted by :class:`BuildPipeline` and the facade
+EXECUTORS = ("serial", "process")
+
+
+def normalize_partitioner(name: str) -> str:
+    """Resolve a partitioner name or CLI alias to its canonical form.
+
+    Raises:
+        ValueError: for names that are neither canonical nor aliased.
+    """
+    canonical = PARTITIONER_ALIASES.get(name, name)
+    if canonical not in _PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {name!r}; one of {_PARTITIONERS}"
+        )
+    return canonical
+
+
+# ---------------------------------------------------------------------------
+# the unit of work and its wire format
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionTask:
+    """One partition's cover build, as plain picklable data.
+
+    Holds exactly what :func:`repro.core.cover_builder.
+    build_partition_cover` needs — the element-graph node and edge
+    lists plus the preselected centers — so the same task object can be
+    executed inline or shipped to a worker process.
+    """
+
+    pid: int
+    nodes: Tuple[ElementId, ...]
+    edges: Tuple[Tuple[ElementId, ElementId], ...]
+    preselected: Tuple[ElementId, ...]
+    distance: bool
+
+
+@dataclass
+class PartitionResult:
+    """A built partition cover plus its in-worker accounting."""
+
+    pid: int
+    cover: object
+    seconds: float
+    wire_bytes: int = 0
+
+
+def _partition_cover_worker(task: PartitionTask) -> Tuple[int, bytes, float]:
+    """Process-pool entry point: build one partition cover, return it
+    as a CSR snapshot blob.
+
+    Runs in a worker process. The cover is built with the set backend
+    (entries are factory-independent), converted to arrays via the
+    batched ``from_cover`` path and serialised with
+    :func:`snapshot_to_bytes` — one contiguous buffer crosses the
+    process boundary instead of a deep cover object graph.
+    """
+    from repro.core.array_cover import ArrayDistanceCover, ArrayTwoHopCover
+    from repro.storage.snapshot import snapshot_to_bytes
+
+    t0 = time.perf_counter()
+    cover = build_partition_cover(
+        task.nodes,
+        task.edges,
+        preselected_centers=task.preselected,
+        distance=task.distance,
+    )
+    arrays = (
+        ArrayDistanceCover if task.distance else ArrayTwoHopCover
+    ).from_cover(cover)
+    return task.pid, snapshot_to_bytes(arrays), time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+
+
+class SerialExecutor:
+    """Run every partition build inline, in the calling process.
+
+    The default — and the baseline the process executor is benchmarked
+    against. Covers are built directly in the target backend, with no
+    wire round-trip.
+    """
+
+    name = "serial"
+
+    def run(self, tasks, *, cover_factory, to_backend) -> List[PartitionResult]:
+        """Execute ``tasks`` in order; see :meth:`ProcessExecutor.run`."""
+        results = []
+        for task in tasks:
+            t0 = time.perf_counter()
+            cover = build_partition_cover(
+                task.nodes,
+                task.edges,
+                preselected_centers=task.preselected,
+                distance=task.distance,
+                cover_factory=cover_factory,
+            )
+            results.append(
+                PartitionResult(task.pid, cover, time.perf_counter() - t0)
+            )
+        return results
+
+
+class ProcessExecutor:
+    """Fan partition builds out over a ``multiprocessing`` pool.
+
+    Workers return CSR snapshot blobs; the parent decodes them and
+    re-represents each cover in the target backend. Partition covers
+    are independent (the paper: the builds "can be done concurrently"),
+    so no coordination beyond the final collection of results is
+    needed.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run(self, tasks, *, cover_factory, to_backend) -> List[PartitionResult]:
+        """Execute ``tasks`` concurrently, preserving partition order.
+
+        Args:
+            tasks: the :class:`PartitionTask` list, one per partition.
+            cover_factory: backend constructor for the decoded covers.
+            to_backend: backend name matching ``cover_factory`` (used
+                to re-represent the decoded array cover).
+        """
+        if not tasks:
+            return []
+        from repro.core.hopi import convert_cover
+        from repro.storage.snapshot import snapshot_from_bytes
+
+        max_workers = min(self.workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            wires = list(pool.map(_partition_cover_worker, tasks))
+        results = []
+        for pid, payload, seconds in wires:
+            cover = convert_cover(snapshot_from_bytes(payload), to_backend)
+            results.append(PartitionResult(pid, cover, seconds, len(payload)))
+        results.sort(key=lambda r: r.pid)
+        return results
+
+
+def make_executor(executor: Optional[str], workers: Optional[int]):
+    """Resolve an executor name + worker count to an executor instance.
+
+    ``None`` picks the natural default: ``process`` when more than one
+    worker was requested, ``serial`` otherwise.
+    """
+    workers = 1 if workers is None else workers
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if executor is None:
+        executor = "process" if workers > 1 else "serial"
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; one of {EXECUTORS}")
+    if executor == "process":
+        return ProcessExecutor(workers)
+    return SerialExecutor()
+
+
+# ---------------------------------------------------------------------------
+# the orchestrator
+# ---------------------------------------------------------------------------
+
+
+class BuildPipeline:
+    """Partition → per-partition cover → cross-link join, end to end.
+
+    The one place the full offline build flow lives;
+    :meth:`repro.core.hopi.HopiIndex.build` is a thin wrapper around
+    it. All knobs of the facade are accepted here with the same
+    semantics, plus the executor selection:
+
+    Args:
+        collection: the XML collection to index.
+        strategy: ``"unpartitioned"``, ``"incremental"`` or
+            ``"recursive"`` (see :mod:`repro.core.hopi`).
+        partitioner: ``"node_weight"``/``"node-weight"``,
+            ``"closure"``/``"closure-size"`` or ``"single"``.
+        partition_limit: max elements (node-weight) or closure
+            connections (closure) per partition; defaults derived from
+            the collection when omitted.
+        edge_weight: ``"links"``, ``"AxD"`` or ``"A+D"``.
+        distance: build a distance-aware cover (Section 5).
+        preselect_centers: force cross-partition link targets as
+            centers first (Section 4.2).
+        psg_node_limit: threshold for the recursive PSG closure.
+        seed: partitioner seed.
+        backend: label backend for the result (``sets`` / ``arrays``).
+        workers: process-pool size; ``None``/1 means serial.
+        executor: ``"serial"`` or ``"process"``; default derived from
+            ``workers``.
+    """
+
+    def __init__(
+        self,
+        collection: Collection,
+        *,
+        strategy: str = "recursive",
+        partitioner: str = "closure",
+        partition_limit: Optional[int] = None,
+        edge_weight: str = "links",
+        distance: bool = False,
+        preselect_centers: bool = True,
+        psg_node_limit: Optional[int] = None,
+        seed: int = 0,
+        backend: str = "sets",
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
+    ) -> None:
+        from repro.core.hopi import BACKENDS
+
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; one of {_STRATEGIES}")
+        partitioner = normalize_partitioner(partitioner)
+        if edge_weight not in _EDGE_WEIGHTS:
+            raise ValueError(
+                f"unknown edge weight {edge_weight!r}; one of {_EDGE_WEIGHTS}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; one of {tuple(BACKENDS)}")
+        self.collection = collection
+        self.strategy = strategy
+        self.partitioner = partitioner
+        self.partition_limit = partition_limit
+        self.edge_weight = edge_weight
+        self.distance = distance
+        self.preselect_centers = preselect_centers
+        self.psg_node_limit = psg_node_limit
+        self.seed = seed
+        self.backend = backend
+        self.workers = 1 if workers is None else workers
+        self.executor = make_executor(executor, workers)
+        self._plain_factory, self._distance_factory = BACKENDS[backend]
+
+    # -- phase 1 --------------------------------------------------------
+    def partition(self) -> Partitioning:
+        """Split the document-level graph (always in the parent)."""
+        collection = self.collection
+        weight_fn = None
+        if self.edge_weight in ("AxD", "A+D") and collection.inter_links:
+            weight_fn = connection_edge_weight(collection, mode=self.edge_weight)
+        if self.partitioner == "single":
+            return single_document_partitioning(collection)
+        if self.partitioner == "node_weight":
+            limit = self.partition_limit or max(collection.num_elements // 8, 1)
+            return partition_by_node_weight(
+                collection, limit, edge_weight=weight_fn, seed=self.seed
+            )
+        limit = self.partition_limit or max(collection.num_elements * 20, 1000)
+        return partition_by_closure_size(
+            collection, limit, edge_weight=weight_fn, seed=self.seed
+        )
+
+    # -- phase 2 --------------------------------------------------------
+    def partition_tasks(self, partitioning: Partitioning) -> List[PartitionTask]:
+        """Extract each partition's element graph into a compact task."""
+        collection = self.collection
+        cross_targets: Dict[int, List[ElementId]] = {}
+        if self.preselect_centers:
+            for _, v in partitioning.cross_links:
+                pid = partitioning.part_of[collection.doc(v)]
+                cross_targets.setdefault(pid, []).append(v)
+        tasks = []
+        for pid, docs in enumerate(partitioning.partitions):
+            graph = collection.subcollection(docs).element_graph()
+            tasks.append(
+                PartitionTask(
+                    pid=pid,
+                    nodes=tuple(graph.nodes()),
+                    edges=tuple(graph.edges()),
+                    preselected=tuple(sorted(cross_targets.get(pid, []))),
+                    distance=self.distance,
+                )
+            )
+        return tasks
+
+    def build_partition_covers(
+        self, tasks: Sequence[PartitionTask]
+    ) -> List[PartitionResult]:
+        """Run phase 2 through the configured executor."""
+        factory = self._distance_factory if self.distance else self._plain_factory
+        return self.executor.run(
+            tasks, cover_factory=factory, to_backend=self.backend
+        )
+
+    # -- phase 3 --------------------------------------------------------
+    def join(self, partitioning: Partitioning, partition_covers: Sequence) -> object:
+        """Merge the partition covers along the cross-partition links."""
+        if self.distance:
+            # Section 5 notes the build algorithms carry over; the
+            # recursive join's H̄ has no distance analogue in the paper,
+            # so distance builds use the incremental join to a fixpoint.
+            return join_covers_incremental_distance(
+                partition_covers,
+                partitioning.cross_links,
+                cover_factory=self._distance_factory,
+            )
+        if self.strategy == "incremental":
+            return join_covers_incremental(
+                partition_covers,
+                partitioning.cross_links,
+                cover_factory=self._plain_factory,
+            )
+        return join_covers_recursive(
+            self.collection,
+            partitioning,
+            partition_covers,
+            psg_node_limit=self.psg_node_limit,
+            cover_factory=self._plain_factory,
+        )
+
+    # -- the whole flow -------------------------------------------------
+    def run(self):
+        """Execute all phases; returns ``(cover, BuildStats)``."""
+        from repro.core.hopi import BuildStats
+        from repro.core.cover_builder import build_cover
+        from repro.core.distance import build_distance_cover
+
+        start = time.perf_counter()
+        if self.strategy == "unpartitioned":
+            graph = self.collection.element_graph()
+            if self.distance:
+                cover = build_distance_cover(
+                    graph, cover_factory=self._distance_factory
+                )
+            else:
+                cover = build_cover(graph, cover_factory=self._plain_factory)
+            stats = BuildStats(
+                strategy=self.strategy,
+                partitioner=None,
+                partition_limit=None,
+                edge_weight=self.edge_weight,
+                distance=self.distance,
+                num_partitions=1,
+                num_cross_links=0,
+                cover_size=cover.size,
+                num_nodes=len(cover.nodes),
+                seconds_total=time.perf_counter() - start,
+                backend=self.backend,
+                workers=1,
+                executor="serial",
+            )
+            return cover, stats
+
+        t0 = time.perf_counter()
+        partitioning = self.partition()
+        tasks = self.partition_tasks(partitioning)
+        seconds_partitioning = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        results = self.build_partition_covers(tasks)
+        seconds_partition_covers = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cover = self.join(partitioning, [r.cover for r in results])
+        seconds_join = time.perf_counter() - t0
+
+        stats = BuildStats(
+            strategy=self.strategy,
+            partitioner=self.partitioner,
+            partition_limit=self.partition_limit,
+            edge_weight=self.edge_weight,
+            distance=self.distance,
+            num_partitions=partitioning.num_partitions,
+            num_cross_links=len(partitioning.cross_links),
+            cover_size=cover.size,
+            num_nodes=len(cover.nodes),
+            seconds_total=time.perf_counter() - start,
+            backend=self.backend,
+            workers=self.workers,
+            executor=self.executor.name,
+            seconds_partitioning=seconds_partitioning,
+            seconds_partition_covers=seconds_partition_covers,
+            seconds_join=seconds_join,
+            partition_cover_seconds=[r.seconds for r in results],
+        )
+        return cover, stats

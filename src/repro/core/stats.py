@@ -47,16 +47,20 @@ class IndexSizeReport:
 
     @property
     def closure_stored_integers(self) -> Optional[int]:
+        """Ints a materialised closure would need (2 per connection,
+        doubled by the backward index); None without a closure run."""
         if self.closure_connections is None:
             return None
         return 4 * self.closure_connections
 
     @property
     def compression(self) -> Optional[float]:
+        """Closure ints / cover ints — Table 2's compression column."""
         if self.closure_connections is None:
             return None
         return compression_ratio(self.closure_connections, self.cover_size)
 
     @property
     def entries_per_node(self) -> float:
+        """Average label entries per node (the paper's INEX metric)."""
         return entries_per_node(self.cover_size, self.num_nodes)

@@ -50,6 +50,7 @@ class LRUCache:
             return default if value is _MISSING else value
 
     def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting LRU entries over capacity."""
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
@@ -75,6 +76,7 @@ class LRUCache:
         return value
 
     def clear(self) -> None:
+        """Drop every entry (hit/miss/eviction counters are kept)."""
         with self._lock:
             self._data.clear()
 
@@ -93,6 +95,7 @@ class LRUCache:
         return self.hits / total if total else None
 
     def stats(self) -> Dict[str, object]:
+        """Occupancy and hit/miss/eviction counters for ``/stats``."""
         return {
             "size": len(self),
             "capacity": self.capacity,

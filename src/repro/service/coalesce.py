@@ -50,6 +50,13 @@ class CoalescingCache:
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], Any]
     ) -> Tuple[Any, str]:
+        """The cached value for ``key``, computing it at most once.
+
+        Concurrent callers with the same cold key elect one leader to
+        run ``compute()``; the rest block and share its result (or its
+        exception). Returns ``(value, source)`` with ``source`` one of
+        ``"hit"``, ``"computed"`` or ``"coalesced"``.
+        """
         value = self.cache.get(key, _MISSING)
         if value is not _MISSING:
             return value, "hit"
@@ -90,6 +97,7 @@ class CoalescingCache:
             pending.event.set()
 
     def stats(self) -> Dict[str, object]:
+        """LRU stats plus coalesced / in-flight counters."""
         data = self.cache.stats()
         data["coalesced"] = self.coalesced
         with self._lock:

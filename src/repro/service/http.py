@@ -35,15 +35,25 @@ JSON = "application/json"
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP front end for one :class:`QueryService`.
+
+    Routing is by path segment (``/query`` → ``_handle_query`` etc.);
+    ``_dispatch`` owns JSON encoding and error mapping (domain errors →
+    400, unknown routes → 404). See ARCHITECTURE.md for how to add an
+    endpoint.
+    """
+
     server_version = "repro-hopi"
     protocol_version = "HTTP/1.1"
 
     # -- plumbing --------------------------------------------------------
     @property
     def service(self) -> QueryService:
+        """The :class:`QueryService` the enclosing server publishes."""
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, fmt: str, *args: Any) -> None:
+        """Per-request logging, silenced unless the server is verbose."""
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(fmt, *args)
 
@@ -84,10 +94,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(status, payload)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        """Route a GET request (query parameters only, no body)."""
         url = urlparse(self.path)
         self._dispatch(url.path, parse_qs(url.query), None)
 
     def do_POST(self) -> None:  # noqa: N802
+        """Route a POST request with an optional JSON body."""
         url = urlparse(self.path)
         length = int(self.headers.get("Content-Length", "0"))
         raw = self.rfile.read(length) if length else b""

@@ -68,6 +68,7 @@ class QueryResponse:
 
     @property
     def cached(self) -> bool:
+        """True when the answer came from a cache (hit or coalesced)."""
         return self.source != "computed"
 
 

@@ -27,6 +27,8 @@ from repro.storage.snapshot import (
     SnapshotCoverStore,
     load_snapshot,
     save_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
 )
 
 __all__ = [
@@ -38,4 +40,6 @@ __all__ = [
     "persist_index",
     "load_snapshot",
     "save_snapshot",
+    "snapshot_from_bytes",
+    "snapshot_to_bytes",
 ]

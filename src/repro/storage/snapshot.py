@@ -26,10 +26,18 @@ Layout (all little-endian)::
 
 Snapshots require integer node labels (element ids always are); covers
 over exotic hashables belong in the SQLite or memory stores.
+
+Beyond on-disk persistence the same encoding doubles as the **wire
+format of the parallel build pipeline** (:mod:`repro.core.pipeline`):
+:func:`snapshot_to_bytes` / :func:`snapshot_from_bytes` run the dump
+and load against an in-memory buffer, so a ``multiprocessing`` worker
+can return its partition cover to the parent as one compact, picklable
+``bytes`` blob instead of a deep object graph.
 """
 
 from __future__ import annotations
 
+import io
 import struct
 import sys
 from array import array
@@ -71,13 +79,8 @@ def _read_array(fh: BinaryIO) -> array:
     return arr
 
 
-def save_snapshot(path: Union[str, Path], cover: ArrayCover) -> int:
-    """Write an array-backed cover to ``path``; returns bytes written.
-
-    Set-backed covers must be converted first
-    (:func:`repro.core.hopi.convert_cover`) — the snapshot is the
-    serialised form of the array representation.
-    """
+def dump_snapshot(fh: BinaryIO, cover: ArrayCover) -> None:
+    """Write the CSR encoding of an array-backed cover to a stream."""
     if not isinstance(cover, (ArrayTwoHopCover, ArrayDistanceCover)):
         raise TypeError(
             "snapshots hold array-backed covers; convert with "
@@ -88,48 +91,84 @@ def save_snapshot(path: Union[str, Path], cover: ArrayCover) -> int:
     if not all(isinstance(x, int) for x in labels):
         raise TypeError("snapshot node labels must be integers (element ids)")
     flags = _FLAG_DISTANCE if payload["distance"] else 0
+    fh.write(MAGIC)
+    fh.write(struct.pack("<I", flags))
+    _write_array(fh, array("q", labels))
+    _write_array(fh, payload["active"])
+    for key in ("lin", "lout", "inv_lin", "inv_lout"):
+        indptr, data = payload[key]
+        _write_array(fh, indptr)
+        _write_array(fh, data)
+    if flags & _FLAG_DISTANCE:
+        _write_array(fh, payload["lin_dist"])
+        _write_array(fh, payload["lout_dist"])
+
+
+def read_snapshot(fh: BinaryIO, *, name: str = "<stream>") -> ArrayCover:
+    """Read one CSR encoding from a stream into an array-backed cover."""
+    magic = fh.read(len(MAGIC))
+    if magic != MAGIC:
+        raise ValueError(f"{name}: not a HOPI CSR snapshot")
+    (flags,) = struct.unpack("<I", fh.read(4))
+    labels = list(_read_array(fh))
+    active = _read_array(fh)
+    blocks = {}
+    for key in ("lin", "lout", "inv_lin", "inv_lout"):
+        indptr = _read_array(fh)
+        data = _read_array(fh)
+        blocks[key] = (indptr, data)
+    payload = {
+        "labels": labels,
+        "active": active,
+        **blocks,
+    }
+    if flags & _FLAG_DISTANCE:
+        payload["distance"] = True
+        payload["lin_dist"] = _read_array(fh)
+        payload["lout_dist"] = _read_array(fh)
+        return ArrayDistanceCover.from_csr(payload)
+    payload["distance"] = False
+    return ArrayTwoHopCover.from_csr(payload)
+
+
+def save_snapshot(path: Union[str, Path], cover: ArrayCover) -> int:
+    """Write an array-backed cover to ``path``; returns bytes written.
+
+    Set-backed covers must be converted first
+    (:func:`repro.core.hopi.convert_cover`) — the snapshot is the
+    serialised form of the array representation. The encoding is fully
+    serialised *before* the target is opened, so a validation error
+    (wrong cover flavour, non-integer labels) never truncates an
+    existing snapshot file.
+    """
+    data = snapshot_to_bytes(cover)
     path = Path(path)
-    with open(path, "wb") as fh:
-        fh.write(MAGIC)
-        fh.write(struct.pack("<I", flags))
-        _write_array(fh, array("q", labels))
-        _write_array(fh, payload["active"])
-        for key in ("lin", "lout", "inv_lin", "inv_lout"):
-            indptr, data = payload[key]
-            _write_array(fh, indptr)
-            _write_array(fh, data)
-        if flags & _FLAG_DISTANCE:
-            _write_array(fh, payload["lin_dist"])
-            _write_array(fh, payload["lout_dist"])
-    return path.stat().st_size
+    path.write_bytes(data)
+    return len(data)
 
 
 def load_snapshot(path: Union[str, Path]) -> ArrayCover:
     """Load a snapshot back into an array-backed cover."""
     with open(path, "rb") as fh:
-        magic = fh.read(len(MAGIC))
-        if magic != MAGIC:
-            raise ValueError(f"{path}: not a HOPI CSR snapshot")
-        (flags,) = struct.unpack("<I", fh.read(4))
-        labels = list(_read_array(fh))
-        active = _read_array(fh)
-        blocks = {}
-        for key in ("lin", "lout", "inv_lin", "inv_lout"):
-            indptr = _read_array(fh)
-            data = _read_array(fh)
-            blocks[key] = (indptr, data)
-        payload = {
-            "labels": labels,
-            "active": active,
-            **blocks,
-        }
-        if flags & _FLAG_DISTANCE:
-            payload["distance"] = True
-            payload["lin_dist"] = _read_array(fh)
-            payload["lout_dist"] = _read_array(fh)
-            return ArrayDistanceCover.from_csr(payload)
-        payload["distance"] = False
-        return ArrayTwoHopCover.from_csr(payload)
+        return read_snapshot(fh, name=str(path))
+
+
+def snapshot_to_bytes(cover: ArrayCover) -> bytes:
+    """The CSR encoding as one ``bytes`` blob.
+
+    The parallel build pipeline's wire format: workers encode their
+    partition cover with this and ship the blob through the process
+    pool's pickle channel — one contiguous buffer instead of thousands
+    of small array objects.
+    """
+    buf = io.BytesIO()
+    dump_snapshot(buf, cover)
+    return buf.getvalue()
+
+
+def snapshot_from_bytes(data: bytes) -> ArrayCover:
+    """Decode a :func:`snapshot_to_bytes` blob back into an array cover."""
+    return read_snapshot(io.BytesIO(data), name="<bytes>")
 
 
 class SnapshotCoverStore(CoverStore):

@@ -103,6 +103,32 @@ def test_closure_partitioner_invalid_budget(dblp):
         partition_by_closure_size(dblp, 0)
 
 
+def test_closure_partitioner_oversized_document_falls_back(dblp):
+    """Regression: a document whose own closure exceeds the budget must
+    become a warned-about singleton partition instead of failing (or
+    silently scanning every neighbour against an unreachable budget)."""
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        partitioning = partition_by_closure_size(dblp, 1, seed=1)
+    messages = [
+        str(w.message) for w in caught if issubclass(w.category, UserWarning)
+    ]
+    assert any("partition budget" in m for m in messages), messages
+    _assert_valid_partitioning(dblp, partitioning)
+    assert all(len(docs) == 1 for docs in partitioning.partitions)
+
+
+def test_closure_partitioner_no_warning_when_budget_fits(dblp):
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        partition_by_closure_size(dblp, 50_000, seed=1)
+    assert not [w for w in caught if issubclass(w.category, UserWarning)]
+
+
 def test_single_document_partitioning(dblp):
     partitioning = single_document_partitioning(dblp)
     _assert_valid_partitioning(dblp, partitioning)

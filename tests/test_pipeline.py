@@ -1,0 +1,239 @@
+"""The parallel build pipeline: serial vs process-pool equivalence.
+
+The pipeline's contract (module docstring of :mod:`repro.core.pipeline`)
+is that the final cover's label entries are **bit-identical** across
+executors and worker counts, on both label backends. This suite pins
+that on seeded random collections — after the build, and after a round
+of Section-6 maintenance applied in lock-step to a serially-built and a
+parallel-built index — plus the wire format round-trip and the executor
+plumbing itself.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.core.cover_builder import build_partition_cover
+from repro.core.hopi import HopiIndex
+from repro.core.pipeline import (
+    EXECUTORS,
+    BuildPipeline,
+    PartitionTask,
+    ProcessExecutor,
+    SerialExecutor,
+    _partition_cover_worker,
+    make_executor,
+    normalize_partitioner,
+)
+from repro.storage.snapshot import snapshot_from_bytes, snapshot_to_bytes
+from repro.xmlmodel.model import Collection
+
+TAGS = ("a", "b", "c")
+
+
+def random_collection(seed: int, *, n_docs: int = 6) -> Collection:
+    """A seeded random linked collection (DAG element graph)."""
+    rng = random.Random(seed)
+    collection = Collection()
+    elements = []
+    for i in range(n_docs):
+        root = collection.new_document(f"d{i}", "r")
+        members = [root.eid]
+        for _ in range(rng.randrange(3, 8)):
+            parent = rng.choice(members)
+            members.append(collection.add_child(parent, rng.choice(TAGS)).eid)
+        elements.extend(members)
+    for _ in range(rng.randrange(3, 3 * n_docs)):
+        u, v = rng.choice(elements), rng.choice(elements)
+        if u != v:
+            collection.add_link(min(u, v), max(u, v))
+    return collection
+
+
+def entries_of(index: HopiIndex):
+    return sorted(index.cover.entries())
+
+
+def maintenance_round(index: HopiIndex, seed: int) -> None:
+    """One deterministic round of Section-6 ops (same for any backend)."""
+    rng = random.Random(seed)
+    collection = index.collection
+    elements = sorted(collection.elements)
+    new_child = index.insert_element(rng.choice(elements), "m")
+    index.insert_edge(rng.choice(elements), new_child)
+    u, v = rng.sample(elements, 2)
+    index.insert_edge(min(u, v), max(u, v))
+    victim = sorted(collection.documents)[0]
+    index.delete_document(victim)
+
+
+@pytest.mark.parametrize("backend", ["sets", "arrays"])
+@pytest.mark.parametrize("strategy", ["recursive", "incremental"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_serial_vs_process_identical(backend, strategy, seed):
+    collection = random_collection(seed)
+    serial = HopiIndex.build(
+        collection,
+        strategy=strategy,
+        partitioner="node_weight",
+        partition_limit=12,
+        backend=backend,
+    )
+    parallel = HopiIndex.build(
+        random_collection(seed),  # structurally identical twin
+        strategy=strategy,
+        partitioner="node_weight",
+        partition_limit=12,
+        backend=backend,
+        workers=2,
+    )
+    assert parallel.stats.executor == "process"
+    assert parallel.stats.workers == 2
+    assert parallel.stats.num_partitions == serial.stats.num_partitions
+    assert entries_of(serial) == entries_of(parallel)
+    serial.verify()
+    parallel.verify()
+
+
+@pytest.mark.parametrize("backend", ["sets", "arrays"])
+def test_identical_after_maintenance(backend):
+    """Parallel-built indexes stay in lock-step through Section-6 ops."""
+    serial = HopiIndex.build(
+        random_collection(3),
+        partitioner="node_weight",
+        partition_limit=12,
+        backend=backend,
+    )
+    parallel = HopiIndex.build(
+        random_collection(3),
+        partitioner="node_weight",
+        partition_limit=12,
+        backend=backend,
+        workers=2,
+    )
+    maintenance_round(serial, seed=7)
+    maintenance_round(parallel, seed=7)
+    assert entries_of(serial) == entries_of(parallel)
+    serial.verify()
+    parallel.verify()
+
+
+@pytest.mark.parametrize("backend", ["sets", "arrays"])
+def test_distance_build_identical(backend):
+    collection = random_collection(4, n_docs=4)
+    serial = HopiIndex.build(
+        collection, distance=True, partitioner="node_weight",
+        partition_limit=12, backend=backend,
+    )
+    parallel = HopiIndex.build(
+        random_collection(4, n_docs=4), distance=True,
+        partitioner="node_weight", partition_limit=12, backend=backend,
+        workers=2,
+    )
+    assert entries_of(serial) == entries_of(parallel)
+    parallel.verify()
+
+
+def test_wire_roundtrip_preserves_cover():
+    """The CSR blob is a lossless encoding of a partition cover."""
+    collection = random_collection(5)
+    graph = collection.element_graph()
+    cover = build_partition_cover(
+        tuple(graph.nodes()), tuple(graph.edges())
+    )
+    from repro.core.array_cover import ArrayTwoHopCover
+
+    arrays = ArrayTwoHopCover.from_cover(cover)
+    blob = snapshot_to_bytes(arrays)
+    assert isinstance(blob, bytes) and blob
+    decoded = snapshot_from_bytes(blob)
+    assert sorted(decoded.entries()) == sorted(cover.entries())
+    assert set(decoded.nodes) == set(cover.nodes)
+
+
+def test_worker_function_is_self_contained():
+    """The process-pool entry point works on a bare task tuple."""
+    collection = random_collection(6, n_docs=3)
+    graph = collection.element_graph()
+    task = PartitionTask(
+        pid=9,
+        nodes=tuple(graph.nodes()),
+        edges=tuple(graph.edges()),
+        preselected=(),
+        distance=False,
+    )
+    pid, payload, seconds = _partition_cover_worker(task)
+    assert pid == 9 and seconds >= 0
+    decoded = snapshot_from_bytes(payload)
+    direct = build_partition_cover(task.nodes, task.edges)
+    assert sorted(decoded.entries()) == sorted(direct.entries())
+
+
+def test_executor_resolution():
+    assert isinstance(make_executor(None, None), SerialExecutor)
+    assert isinstance(make_executor(None, 1), SerialExecutor)
+    assert isinstance(make_executor(None, 4), ProcessExecutor)
+    assert isinstance(make_executor("serial", 4), SerialExecutor)
+    proc = make_executor("process", 1)
+    assert isinstance(proc, ProcessExecutor) and proc.workers == 1
+    assert set(EXECUTORS) == {"serial", "process"}
+    with pytest.raises(ValueError):
+        make_executor("threads", 2)
+    with pytest.raises(ValueError):
+        make_executor(None, 0)
+
+
+def test_partitioner_aliases():
+    assert normalize_partitioner("node-weight") == "node_weight"
+    assert normalize_partitioner("closure-size") == "closure"
+    assert normalize_partitioner("closure") == "closure"
+    assert normalize_partitioner("single") == "single"
+    with pytest.raises(ValueError):
+        normalize_partitioner("metis")
+    collection = random_collection(8, n_docs=3)
+    via_alias = HopiIndex.build(collection, partitioner="closure-size")
+    assert via_alias.stats.partitioner == "closure"
+
+
+def test_pipeline_phases_accounted():
+    """Phase timings and per-partition seconds land in BuildStats."""
+    pipeline = BuildPipeline(
+        random_collection(9),
+        partitioner="node_weight",
+        partition_limit=12,
+        workers=2,
+    )
+    cover, stats = pipeline.run()
+    assert stats.num_partitions >= 2
+    assert len(stats.partition_cover_seconds) == stats.num_partitions
+    assert stats.seconds_total >= stats.seconds_join
+    assert stats.executor == "process"
+    assert cover.size == stats.cover_size
+
+
+def test_unpartitioned_ignores_workers():
+    index = HopiIndex.build(
+        random_collection(10, n_docs=3), strategy="unpartitioned", workers=4
+    )
+    assert index.stats.executor == "serial"
+    assert index.stats.workers == 1
+    index.verify()
+
+
+def test_closure_partitioner_oversized_doc_warns_not_fails():
+    """Regression: a single document whose closure exceeds the budget
+    must degrade to a warned-about singleton partition, not an error."""
+    from repro.core.partitioning import partition_by_closure_size
+
+    collection = random_collection(11, n_docs=4)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        partitioning = partition_by_closure_size(collection, 1)
+    assert [w for w in caught if issubclass(w.category, UserWarning)]
+    assert partitioning.num_partitions == len(collection.documents)
+    # over-budget documents become singletons; the index still builds
+    index = HopiIndex.build(
+        collection, partitioner="closure", partition_limit=1
+    )
+    index.verify()

@@ -147,3 +147,37 @@ def test_store_reload_if_changed(tmp_path, small_index):
     assert store.reload_if_changed() is True
     assert store.cover_size() == rebuilt.cover.size
     assert store.reload_if_changed() is False
+
+
+def test_failed_save_leaves_existing_snapshot_intact(tmp_path):
+    """A validation error must not truncate a previously good snapshot."""
+    from repro.core.array_cover import ArrayTwoHopCover
+    from repro.core.cover import TwoHopCover
+    from repro.storage.snapshot import load_snapshot
+
+    path = tmp_path / "cover.snap"
+    good = ArrayTwoHopCover([1, 2, 3])
+    good.add_lout(1, 2)
+    good.add_lin(3, 2)
+    save_snapshot(path, good)
+
+    with pytest.raises(TypeError):
+        save_snapshot(path, TwoHopCover([1, 2]))  # wrong flavour
+
+    reloaded = load_snapshot(path)
+    assert sorted(reloaded.entries()) == sorted(good.entries())
+
+
+def test_snapshot_bytes_roundtrip_matches_file(tmp_path):
+    """snapshot_to_bytes/from_bytes is the same encoding as the file."""
+    from repro.core.array_cover import ArrayTwoHopCover
+    from repro.storage.snapshot import snapshot_from_bytes, snapshot_to_bytes
+
+    cover = ArrayTwoHopCover([1, 2, 3])
+    cover.add_lout(1, 2)
+    cover.add_lin(3, 2)
+    blob = snapshot_to_bytes(cover)
+    path = tmp_path / "cover.snap"
+    assert save_snapshot(path, cover) == len(blob)
+    assert path.read_bytes() == blob
+    assert sorted(snapshot_from_bytes(blob).entries()) == sorted(cover.entries())
