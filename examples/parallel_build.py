@@ -85,6 +85,39 @@ def main() -> None:
     assert sorted(cover.entries()) == sorted(serial.cover.entries())
     print(f"phase-by-phase cover identical again (|L| = {cover.size})")
 
+    # -- 4. distributed: RPC workers + sharded join ---------------------
+    # The paper: partition covers "can even be [built] on different
+    # machines". Two loopback `repro build-worker` daemons stand in for
+    # the build cluster here; the cross-link join is sharded over the
+    # same workers (join_shards defaults to the worker count).
+    from repro.core.rpc import start_worker_thread
+
+    server_a, addr_a = start_worker_thread()
+    server_b, addr_b = start_worker_thread()
+    try:
+        distributed = HopiIndex.build(
+            collection,
+            strategy="recursive",
+            partitioner="node-weight",
+            partition_limit=limit,
+            backend="arrays",
+            executor="rpc",
+            rpc_workers=[addr_a, addr_b],
+        )
+    finally:
+        for server in (server_a, server_b):
+            server.shutdown()
+            server.server_close()
+    assert sorted(distributed.cover.entries()) == sorted(
+        serial.cover.entries()
+    )
+    stats = distributed.stats
+    print(
+        f"\nrpc build over {addr_a} + {addr_b}: identical cover, "
+        f"join sharded {stats.join_shards} ways "
+        f"(join {stats.seconds_join:.2f}s)"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -28,6 +28,7 @@ from repro.bench.harness import (
     run_table2,
 )
 from repro.bench.build_bench import (
+    JOIN_HEADLINE,
     emit_bench_build_entry,
     run_build_benchmark,
 )
@@ -127,6 +128,38 @@ def run_build_suite() -> None:
             f"speedups {result['speedup_source']}; "
             "appended to BENCH_build.json)"
         ),
+    )
+
+    join_rows = []
+    for name, coll in result["collections"].items():
+        for backend, row in coll["backends"].items():
+            jp = row["join_parallel"]
+            join_rows.append(
+                (
+                    name, backend, jp["shards"],
+                    round(jp["serial_join_seconds"], 3),
+                    round(jp["parallel_join_seconds"], 3),
+                    jp["join_ratio"], jp["join_speedup"],
+                )
+            )
+    print_table(
+        ["collection", "backend", "shards", "serial join s",
+         "parallel join s", "ratio", "speedup"],
+        join_rows,
+        title=(
+            "Parallel join (sharded Ĥ distribution): headline "
+            f"{JOIN_HEADLINE}/arrays ratio "
+            f"{result['join_ratio']} (≤ 0.7 is the bar)"
+        ),
+    )
+
+    rpc = result["rpc_loopback"]
+    print_table(
+        ["workers", "collection", "total s", "join s", "identical"],
+        [(rpc["workers"], rpc["collection"],
+          round(rpc["seconds_total"], 3), round(rpc["seconds_join"], 3),
+          "yes" if rpc["covers_identical"] else "NO")],
+        title="RPC loopback distributed build (repro build-worker x2)",
     )
     assert entry["covers_identical_all"], "parallel covers diverged"
 

@@ -8,15 +8,26 @@ sibling of ``BENCH_query.json`` and ``BENCH_service.json``:
 * per-phase wall times (partitioning / partition covers / join) for a
   serial and a ``workers=4`` process-pool build, per label backend;
 * the serial-vs-parallel speedup;
+* a ``join_parallel`` block per collection/backend — serial join wall
+  vs the sharded join of :func:`repro.core.join.
+  join_covers_recursive_parallel` with its per-phase breakdown (PSG
+  closure / shard computations / assembly), the join ratio and
+  speedup;
+* an ``rpc_loopback`` entry: one distributed build against two
+  in-process ``repro build-worker`` daemons, identity-checked against
+  the serial build;
 * partition counts, balance, cover size — and a hard **identity check**
   that the parallel build's cover entries equal the serial build's on
   both backends (a speedup that changes answers is a bug, not a win).
 
-The benchmark collection is the deep-document INEX-like workload at
-three times the usual bench scale: cover construction dominates its build
-(the phase Section 4 parallelises — the paper's 45h baseline was cover
-construction), where the citation-linked DBLP workload is join-bound; a
-DBLP data point is recorded alongside for exactly that contrast.
+Three collections are swept at three times the usual bench scale:
+the deep-document INEX-like workload (cover construction dominates —
+the phase Section 4 parallelises; the paper's 45h baseline was cover
+construction), the **INEX-linked** workload (the same trees plus dense
+citation-style links, where the cross-link join dominates — the
+paper's "most of the time was spent joining the covers" profile, and
+the collection the ``join_ratio`` headline is measured on), and the
+citation-linked DBLP workload for contrast.
 
 **Single-CPU hosts.** A process pool cannot beat a serial build without
 a second core. When the host exposes fewer than 2 CPUs, the entry
@@ -38,7 +49,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.bench.trajectory import anchored_trajectory_path, append_trajectory
-from repro.bench.workloads import bench_dblp, bench_inex, workload_scale
+from repro.bench.workloads import (
+    bench_dblp,
+    bench_inex,
+    bench_inex_linked,
+    workload_scale,
+)
 from repro.core.hopi import HopiIndex
 from repro.xmlmodel.model import Collection
 
@@ -47,6 +63,9 @@ DEFAULT_WORKERS = 4
 
 #: the headline backend (the ROADMAP's production representation)
 HEADLINE_BACKEND = "arrays"
+
+#: the join-heavy collection the parallel-join bar is measured on
+JOIN_HEADLINE = "INEX-linked"
 
 
 def host_cpus() -> int:
@@ -81,6 +100,135 @@ def _build(collection: Collection, *, backend: str, workers: Optional[int],
     )
 
 
+def measure_join_parallel(
+    collection: Collection,
+    *,
+    backend: str,
+    workers: int,
+    partition_limit: int,
+    serial_join_seconds: float,
+    reference_entries: list,
+    measured: bool,
+    measured_stats=None,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Serial vs sharded join wall on one collection/backend.
+
+    On a multicore host the sharded join is simply measured — the main
+    benchmark loop's ``workers=N`` runs already shard the join, so
+    their best stats are re-used via ``measured_stats`` (no extra
+    builds). On a single CPU the model of the module docstring applies
+    to the join phase alone: a ``threads``/1-worker run yields clean
+    sequential per-shard times (and re-uses the phase-2 wire blobs
+    exactly like a real parallel run); the PSG closure, the cover
+    union/assembly and every gram of task-prep/decode overhead are
+    charged serially, and only the shard computations are
+    LPT-scheduled onto ``workers`` bins.
+    """
+    if measured and measured_stats is not None:
+        ps = measured_stats
+    else:
+        best = None
+        for _ in range(max(repeats, 1)):
+            if measured:
+                run = _build(
+                    collection, backend=backend, workers=workers,
+                    partition_limit=partition_limit,
+                )
+            else:
+                run = _build(
+                    collection, backend=backend, workers=None,
+                    partition_limit=partition_limit,
+                    executor="threads", join_shards=workers,
+                )
+            if sorted(run.cover.entries()) != reference_entries:
+                raise RuntimeError(
+                    f"sharded join diverged from serial ({backend})"
+                )
+            if best is None or run.stats.seconds_join < best.seconds_join:
+                best = run.stats
+        ps = best
+    shard_sum = sum(ps.join_shard_seconds)
+    if measured:
+        parallel_join = ps.seconds_join
+    else:
+        overhead = max(ps.seconds_join_distribute - shard_sum, 0.0)
+        parallel_join = (
+            ps.seconds_join_union
+            + ps.seconds_join_psg
+            + lpt_makespan(ps.join_shard_seconds, workers)
+            + overhead
+        )
+    return {
+        "shards": ps.join_shards,
+        "serial_join_seconds": round(serial_join_seconds, 4),
+        "parallel_join_seconds": round(parallel_join, 4),
+        "join_ratio": round(
+            parallel_join / max(serial_join_seconds, 1e-9), 3
+        ),
+        "join_speedup": round(
+            serial_join_seconds / max(parallel_join, 1e-9), 2
+        ),
+        "phases": {
+            "psg": round(ps.seconds_join_psg, 4),
+            "union": round(ps.seconds_join_union, 4),
+            "distribute_wall": round(ps.seconds_join_distribute, 4),
+            "shard_seconds": [round(s, 4) for s in ps.join_shard_seconds],
+            "shard_seconds_sum": round(shard_sum, 4),
+        },
+    }
+
+
+def measure_rpc_loopback(
+    collection: Collection,
+    *,
+    partition_limit: int,
+    reference_entries: list,
+    n_workers: int = 2,
+) -> Dict[str, object]:
+    """One distributed build against loopback ``build-worker`` daemons.
+
+    Records the paper's "different machines" scenario end to end: two
+    RPC workers in this process serve partition-cover and join-shard
+    tasks over real sockets, and the resulting cover is identity-
+    checked against the serial build. Wall times on a loopback are a
+    smoke record (the workers share this host's CPUs), not a speedup
+    claim.
+    """
+    from repro.core.rpc import start_worker_thread
+
+    servers = []
+    addresses = []
+    try:
+        for _ in range(n_workers):
+            server, address = start_worker_thread()
+            servers.append(server)
+            addresses.append(address)
+        run = _build(
+            collection, backend=HEADLINE_BACKEND, workers=None,
+            partition_limit=partition_limit,
+            executor="rpc", rpc_workers=addresses,
+        )
+    finally:
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+    identical = sorted(run.cover.entries()) == reference_entries
+    if not identical:
+        raise RuntimeError("rpc-loopback build diverged from serial")
+    stats = run.stats
+    return {
+        "workers": n_workers,
+        "collection": JOIN_HEADLINE,
+        "backend": HEADLINE_BACKEND,
+        "executor": stats.executor,
+        "join_shards": stats.join_shards,
+        "seconds_total": round(stats.seconds_total, 4),
+        "seconds_join": round(stats.seconds_join, 4),
+        "covers_identical": identical,
+    }
+
+
 def run_build_benchmark(
     *,
     workers: int = DEFAULT_WORKERS,
@@ -100,6 +248,7 @@ def run_build_benchmark(
     measured = cpus >= 2
     collections = {
         "INEX": (bench_inex(3 * scale), 16),
+        "INEX-linked": (bench_inex_linked(3 * scale), 16),
         "DBLP": (bench_dblp(scale), 16),
     }
     result: Dict[str, object] = {
@@ -108,11 +257,14 @@ def run_build_benchmark(
         "speedup_source": "measured" if measured else "modeled-single-cpu",
         "collections": {},
     }
+    rpc_reference = None
+    rpc_limit = 1
     for name, (collection, limit_divisor) in collections.items():
         limit = max(collection.num_elements // limit_divisor, 1)
         per_backend: Dict[str, object] = {}
         for backend in backends:
             serial = parallel = None
+            reference_entries = None
             identical = True
             for _ in range(max(repeats, 1)):
                 s_run = _build(
@@ -126,9 +278,10 @@ def run_build_benchmark(
                 # the recorded flag is the conjunction of the per-run
                 # comparisons — every repetition is checked, and any
                 # divergence (even a flaky one) is a hard error
-                identical = identical and sorted(
-                    s_run.cover.entries()
-                ) == sorted(p_run.cover.entries())
+                reference_entries = sorted(s_run.cover.entries())
+                identical = identical and reference_entries == sorted(
+                    p_run.cover.entries()
+                )
                 if not identical:
                     raise RuntimeError(
                         f"{name}/{backend}: parallel build diverged from serial"
@@ -141,7 +294,20 @@ def run_build_benchmark(
                     p_run.stats.seconds_total < parallel.stats.seconds_total
                 ):
                     parallel = p_run
+            if name == JOIN_HEADLINE and backend == HEADLINE_BACKEND:
+                rpc_reference = reference_entries
+                rpc_limit = limit
             ss, ps = serial.stats, parallel.stats
+            join_parallel = measure_join_parallel(
+                collection,
+                backend=backend,
+                workers=workers,
+                partition_limit=limit,
+                serial_join_seconds=ss.seconds_join,
+                reference_entries=reference_entries,
+                measured=measured,
+                measured_stats=ps,
+            )
             serial_compute = sum(ss.partition_cover_seconds)
             if measured:
                 parallel_seconds = ps.seconds_total
@@ -183,6 +349,7 @@ def run_build_benchmark(
                 "partition_cover_seconds_max": round(
                     max(ss.partition_cover_seconds, default=0.0), 4
                 ),
+                "join_parallel": join_parallel,
             }
         result["collections"][name] = {
             "documents": collection.num_documents,
@@ -193,12 +360,30 @@ def run_build_benchmark(
             "partition_limit": limit,
             "backends": per_backend,
         }
-    headline = result["collections"]["INEX"]["backends"][HEADLINE_BACKEND]
-    result["speedup_workers4"] = headline["speedup"]
     result["covers_identical_all"] = all(
         row["covers_identical"]
         for coll in result["collections"].values()
         for row in coll["backends"].values()
+    )
+    if HEADLINE_BACKEND not in backends:
+        # a sets-only sweep has no headline rows or rpc reference cover
+        return result
+    headline = result["collections"]["INEX"]["backends"][HEADLINE_BACKEND]
+    result["speedup_workers4"] = headline["speedup"]
+    join_headline = result["collections"][JOIN_HEADLINE]["backends"][
+        HEADLINE_BACKEND
+    ]["join_parallel"]
+    result["join_ratio"] = join_headline["join_ratio"]
+    result["join_speedup"] = join_headline["join_speedup"]
+    linked_collection, _ = collections[JOIN_HEADLINE]
+    result["rpc_loopback"] = measure_rpc_loopback(
+        linked_collection,
+        partition_limit=rpc_limit,
+        reference_entries=rpc_reference,
+    )
+    result["covers_identical_all"] = (
+        result["covers_identical_all"]
+        and result["rpc_loopback"]["covers_identical"]
     )
     return result
 

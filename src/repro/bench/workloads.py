@@ -5,11 +5,21 @@ and INEX (12,232 docs / 12.06M elements / no links) are reproduced in
 *structural profile* at a scale pure Python can sweep in minutes. The
 environment variable ``REPRO_BENCH_SCALE`` multiplies the default sizes
 (e.g. ``REPRO_BENCH_SCALE=4`` runs 4x larger collections).
+
+:func:`bench_inex_linked` adds the **join-heavy** variant: the same
+deep INEX-like trees, citation-linked the way the paper links hybrid
+web/intranet collections — deep elements referencing other documents'
+roots. Link targets at roots make every cross-partition link fan out
+to a whole document on the ``Lin`` side, so the cover join's
+distribution step (the phase the parallel join shards) dominates the
+join wall, mirroring the paper's "most of the time was spent joining
+the covers" observation.
 """
 
 from __future__ import annotations
 
 import os
+import random
 from functools import lru_cache
 
 from repro.xmlmodel.generator import dblp_like, inex_like
@@ -20,6 +30,10 @@ from repro.xmlmodel.model import Collection
 DEFAULT_DBLP_DOCS = 300
 DEFAULT_INEX_DOCS = 30
 DEFAULT_INEX_ELEMENTS_PER_DOC = 380
+#: mean outgoing citations per document of the linked-INEX variant
+DEFAULT_INEX_LINKED_CITES = 48
+#: bibliography elements carrying those citations, per document
+DEFAULT_INEX_LINKED_BIBS = 6
 
 
 def workload_scale() -> float:
@@ -43,3 +57,51 @@ def bench_inex(scale: float | None = None) -> Collection:
         seed=2005,
         elements_per_doc=DEFAULT_INEX_ELEMENTS_PER_DOC,
     )
+
+
+@lru_cache(maxsize=4)
+def bench_inex_linked(scale: float | None = None) -> Collection:
+    """Deep INEX-like trees plus citation-style links — join-heavy.
+
+    Every document (except the first) cites earlier documents from a
+    handful of deep "bibliography" elements into the cited documents'
+    *roots*, with a seeded RNG so the collection is identical across
+    runs — the profile of the paper's hybrid intranet collections,
+    where hub documents reference large parts of the corpus. Root
+    targets fan every cross-partition link out to a whole document on
+    the ``Lin`` side, and concentrating the link sources on a few deep
+    elements per document keeps the PSG small while its ``H̄`` reach
+    sets stay large — together they make the join's distribution step
+    dominate the join wall, the phase the parallel join shards ("most
+    of the time was spent joining the covers").
+    """
+    scale = workload_scale() if scale is None else scale
+    n_docs = max(int(DEFAULT_INEX_DOCS * scale), 4)
+    collection = inex_like(
+        n_docs,
+        seed=2005,
+        elements_per_doc=DEFAULT_INEX_ELEMENTS_PER_DOC,
+    )
+    rng = random.Random(2005)
+    docs = sorted(collection.documents)
+    elements_by_doc: dict = {d: [] for d in docs}
+    for eid in sorted(collection.elements):
+        elements_by_doc[collection.elements[eid].doc].append(eid)
+    cites = DEFAULT_INEX_LINKED_CITES
+    n_bib = DEFAULT_INEX_LINKED_BIBS
+    for i, doc in enumerate(docs):
+        if i == 0:
+            continue
+        members = elements_by_doc[doc]
+        # a few deep bibliography elements carry all of the doc's cites
+        step = max(len(members) // (n_bib + 1), 1)
+        bib = [
+            members[min((3 * len(members)) // 4 + k * step // 4,
+                        len(members) - 1)]
+            for k in range(n_bib)
+        ]
+        for _ in range(rng.randrange(cites // 2, 2 * cites)):
+            cited = docs[rng.randrange(0, i)]
+            target = collection.documents[cited].root
+            collection.add_link(rng.choice(bib), target)
+    return collection

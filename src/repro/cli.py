@@ -60,6 +60,47 @@ def _read_documents(paths: Sequence[str]) -> Dict[str, str]:
     return documents
 
 
+def _is_int(spec: str) -> bool:
+    try:
+        int(spec)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_workers(
+    spec: Optional[str], executor: Optional[str]
+) -> Dict[str, object]:
+    """Interpret ``--workers``: a pool size, or rpc worker addresses.
+
+    ``--workers 4`` means a 4-worker pool; ``--workers host:port,...``
+    (with ``--executor rpc``, which it implies) names the build-worker
+    daemons to ship tasks to.
+    """
+    if spec is None or _is_int(spec):
+        if executor == "rpc":
+            raise SystemExit(
+                "--executor rpc needs worker addresses: "
+                "--workers host:port[,host:port...]"
+            )
+        return {
+            "workers": int(spec) if spec is not None else None,
+            "rpc_workers": None,
+        }
+    addresses = [a.strip() for a in spec.split(",") if a.strip()]
+    if not all(":" in a for a in addresses) or not addresses:
+        raise SystemExit(
+            f"--workers must be a count or host:port[,host:port...], "
+            f"got {spec!r}"
+        )
+    if executor not in (None, "rpc"):
+        raise SystemExit(
+            f"--workers with addresses implies --executor rpc, "
+            f"not {executor!r}"
+        )
+    return {"workers": None, "rpc_workers": addresses}
+
+
 def cmd_build(args: argparse.Namespace) -> int:
     collection = load_collection(_read_documents(args.inputs))
     print(
@@ -74,19 +115,42 @@ def cmd_build(args: argparse.Namespace) -> int:
         edge_weight=args.edge_weight,
         distance=args.distance,
         backend=args.backend,
-        workers=args.workers,
         executor=args.executor,
+        join_shards=args.join_shards,
+        **parse_workers(args.workers, args.executor),
     )
     stats = index.stats
     print(
         f"built in {stats.seconds_total:.2f}s "
         f"({stats.num_partitions} partitions, |L| = {stats.cover_size}, "
         f"backend = {stats.backend}, executor = {stats.executor}"
-        + (f", workers = {stats.workers}" if stats.executor == "process" else "")
+        + (f", workers = {stats.workers}" if stats.executor != "serial" else "")
+        + (f", join shards = {stats.join_shards}" if stats.join_shards > 1 else "")
         + ")"
     )
     persist_index(index, args.output).close()
     print(f"written to {args.output}")
+    return 0
+
+
+def cmd_build_worker(args: argparse.Namespace) -> int:
+    from repro.core.rpc import parse_address, serve_worker
+
+    host, port = parse_address(args.listen)
+    server = serve_worker(host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"build worker listening on {bound_host}:{bound_port} "
+        f"(point `repro build --executor rpc --workers "
+        f"{bound_host}:{bound_port}` at it; Ctrl-C stops)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -231,14 +295,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="sets", choices=["sets", "arrays"],
                    help="label backend: dict-of-sets, or interned dense "
                         "ids with sorted arrays (identical answers)")
-    p.add_argument("--workers", type=int, default=None,
-                   help="build partition covers in an N-process pool "
-                        "(Section 4's parallel divide-and-conquer; "
-                        "covers are bit-identical to a serial build)")
-    p.add_argument("--executor", default=None, choices=["serial", "process"],
-                   help="partition-cover executor (default: process when "
-                        "--workers > 1, else serial)")
+    p.add_argument("--workers", default=None,
+                   help="worker-pool size (build partition covers and "
+                        "join shards concurrently; Section 4's parallel "
+                        "divide-and-conquer), or a host:port[,host:port"
+                        "...] list of `repro build-worker` daemons for "
+                        "--executor rpc; covers are bit-identical to a "
+                        "serial build either way")
+    p.add_argument("--executor", default=None,
+                   choices=["serial", "process", "threads", "rpc"],
+                   help="build executor (default: process when --workers "
+                        "is a count > 1, rpc when it is an address list, "
+                        "else serial)")
+    p.add_argument("--join-shards", type=int, default=None,
+                   help="shard the recursive join's distribution step "
+                        "(default: the worker count; 1 = serial join)")
     p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser(
+        "build-worker",
+        help="run an RPC build worker daemon for `repro build "
+             "--executor rpc` (the paper's 'different machines' build)",
+    )
+    p.add_argument("--listen", default="127.0.0.1:9123",
+                   help="HOST:PORT to listen on (port 0 picks an "
+                        "ephemeral port; default 127.0.0.1:9123). Bind "
+                        "to loopback or a private build network only — "
+                        "workers execute tasks from anyone who connects")
+    p.set_defaults(func=cmd_build_worker)
 
     p = sub.add_parser("generate", help="write a synthetic XML collection")
     p.add_argument("family", choices=["dblp", "inex"])

@@ -219,6 +219,82 @@ class _ArrayCoverBase:
         if row is not None:
             sorted_remove(row, node)
 
+    # -- disjoint merge --------------------------------------------------
+    def preintern_sorted(self, labels: Iterable[Node]) -> None:
+        """Intern ``labels`` in sorted order ahead of a series of
+        :meth:`absorb_disjoint` calls.
+
+        With the whole label universe interned in sorted order up
+        front, the remap of every subsequently absorbed cover whose own
+        interner is label-sorted (snapshot blobs from the parallel
+        join's workers are) is *monotone* — rows keep their sortedness
+        under translation and the absorb degrades to pure block copies.
+        """
+        ordered = sorted(labels)
+        if len(self.interner) == 0:
+            self.interner = NodeInterner.from_labels(ordered)
+        else:  # pragma: no cover - incremental preintern
+            intern = self.interner.intern
+            for label in ordered:
+                intern(label)
+        grow = len(self.interner) - len(self._lin)
+        if grow > 0:
+            for table in self._tables():
+                table.extend([None] * grow)
+
+    def absorb_disjoint(self, other) -> None:
+        """:meth:`union`, optimised for node-disjoint covers.
+
+        Two fast paths, falling back to :meth:`union` (identical
+        result) when neither applies:
+
+        * **pure offset** — none of ``other``'s labels are interned
+          here yet (original partition covers joined into a fresh
+          merged cover): every internal id shifts by one constant, so
+          label rows and backward-index rows move as block copies with
+          sortedness preserved;
+        * **remap** (reachability covers only) — some labels overlap
+          as *centers* but the node universes are disjoint (the
+          parallel join's shard covers, whose Ĥ deltas reference
+          foreign link targets): ids are translated through a remap
+          table, rows re-sorted in C, and backward-index rows for
+          shared centers merged.
+        """
+        if type(other) is not type(self):
+            self.union(other)
+            return
+        fresh = not any(
+            self.interner.get(lab) is not None for lab in other.interner
+        )
+        if fresh:
+            offset = len(self.interner)
+            for lab in other.interner:
+                self._intern(lab)
+            self._nodes.update(i + offset for i in other._nodes)
+            for dst, src in (
+                (self._lin, other._lin),
+                (self._lout, other._lout),
+                (self._inv_lin, other._inv_lin),
+                (self._inv_lout, other._inv_lout),
+            ):
+                for i, row in enumerate(src):
+                    if row:
+                        dst[offset + i] = array(
+                            ID_TYPECODE, (c + offset for c in row)
+                        )
+            self._absorb_extra(other, offset)
+            return
+        self._absorb_remap(other)
+
+    def _absorb_extra(self, other, offset: int) -> None:
+        """Hook for subclass tables carrying non-id payloads (distances
+        move verbatim — only id columns are offset-remapped)."""
+
+    def _absorb_remap(self, other) -> None:
+        """Overridden by the reachability cover; aligned-payload
+        flavours (distances) take the generic per-entry union."""
+        self.union(other)
+
     def _externalize(self, ids: Iterable[int]) -> Set[Node]:
         label = self.interner.label
         return {label(i) for i in ids}
@@ -528,10 +604,145 @@ class ArrayTwoHopCover(_ArrayCoverBase):
                 for ci in row:
                     yield ("out", node, label(ci))
 
+    def _absorb_remap(self, other: "ArrayTwoHopCover") -> None:
+        """Absorb a node-disjoint cover whose labels partially overlap
+        ours (as centers), translating ids through a remap table.
+
+        Node universes must be disjoint (checked; falls back to
+        :meth:`union`), so forward rows never collide — they are
+        remapped wholesale. Fresh labels are assigned ids in ``other``'s
+        id order, so the remap is *monotone on them*: a row touching no
+        pre-existing ("foreign") label stays sorted after translation
+        and needs no re-sort; only rows naming foreign centers — the
+        parallel join's Ĥ targets — pay a per-row C sort. Backward-index
+        rows *can* collide on shared centers and are merged (their
+        carriers are disjoint node sets).
+        """
+        if self.interner.same_mapping(other.interner):
+            self._absorb_identity(other)
+            return
+        intern = self.interner.intern
+        before = len(self.interner)
+        remap = [intern(lab) for lab in other.interner]
+        grow = len(self.interner) - len(self._lin)
+        if grow > 0:
+            for table in self._tables():
+                table.extend([None] * grow)
+        mapped_nodes = {remap[i] for i in other._nodes}
+        if not mapped_nodes.isdisjoint(self._nodes):
+            self.union(other)
+            return
+        self._nodes.update(mapped_nodes)
+        # a monotone remap preserves row sortedness outright (the
+        # :meth:`preintern_sorted` + label-sorted-blob fast path)
+        monotone = all(a < b for a, b in zip(remap, remap[1:]))
+        if monotone:
+            needs_sort = lambda row: False  # noqa: E731
+        else:
+            # only rows naming a pre-existing ("foreign") label can
+            # lose sortedness: fresh labels are assigned in id order
+            foreign = {i for i, m in enumerate(remap) if m < before}
+            needs_sort = lambda row: not foreign.isdisjoint(row)  # noqa: E731
+        for dst, src in ((self._lin, other._lin), (self._lout, other._lout)):
+            for i, row in enumerate(src):
+                if not row:
+                    continue
+                if needs_sort(row):
+                    dst[remap[i]] = array(
+                        ID_TYPECODE, sorted(remap[c] for c in row)
+                    )
+                else:
+                    dst[remap[i]] = array(
+                        ID_TYPECODE, [remap[c] for c in row]
+                    )
+        for dst, src in (
+            (self._inv_lin, other._inv_lin),
+            (self._inv_lout, other._inv_lout),
+        ):
+            for i, row in enumerate(src):
+                if not row:
+                    continue
+                ci = remap[i]
+                existing = dst[ci]
+                if existing:
+                    dst[ci] = array(
+                        ID_TYPECODE,
+                        sorted(set(existing).union(remap[c] for c in row)),
+                    )
+                elif needs_sort(row):
+                    dst[ci] = array(
+                        ID_TYPECODE, sorted(remap[c] for c in row)
+                    )
+                else:
+                    dst[ci] = array(ID_TYPECODE, [remap[c] for c in row])
+
+    def _absorb_identity(self, other: "ArrayTwoHopCover") -> None:
+        """Absorb a node-disjoint cover sharing this cover's exact
+        interner (the parallel join's global-id-space shard covers):
+        label rows move as plain slice copies, and only backward-index
+        rows colliding on shared centers pay a merge."""
+        if not other._nodes.isdisjoint(self._nodes):
+            self.union(other)
+            return
+        self._nodes |= other._nodes
+        for dst, src in (
+            (self._lin, other._lin),
+            (self._lout, other._lout),
+            (self._inv_lin, other._inv_lin),
+            (self._inv_lout, other._inv_lout),
+        ):
+            for i, row in enumerate(src):
+                if not row:
+                    continue
+                existing = dst[i]
+                if existing:
+                    dst[i] = array(
+                        ID_TYPECODE, sorted(set(existing).union(row))
+                    )
+                else:
+                    dst[i] = row[:]
+
+    def with_sorted_interner(self) -> "ArrayTwoHopCover":
+        """A copy re-indexed so internal ids follow sorted label order.
+
+        The parallel join's workers canonicalise their updated covers
+        with this before encoding them: a label-sorted blob absorbs
+        into a :meth:`~_ArrayCoverBase.preintern_sorted`-prepared
+        merged cover through a monotone remap — all the per-row
+        re-sorting happens *here*, in the (parallelised) workers,
+        instead of in the single-threaded parent.
+        """
+        labels = self.interner.labels()
+        order = sorted(range(len(labels)), key=labels.__getitem__)
+        perm = [0] * len(labels)
+        for new, old in enumerate(order):
+            perm[old] = new
+        fresh = ArrayTwoHopCover()
+        fresh.interner = NodeInterner.from_labels([labels[o] for o in order])
+        fresh._nodes = {perm[i] for i in self._nodes}
+        n = len(labels)
+        for name in ("_lin", "_lout", "_inv_lin", "_inv_lout"):
+            src = getattr(self, name)
+            dst: List[Optional[array]] = [None] * n
+            for old, row in enumerate(src):
+                if row:
+                    dst[perm[old]] = array(
+                        ID_TYPECODE, sorted(perm[c] for c in row)
+                    )
+            setattr(fresh, name, dst)
+        return fresh
+
     @classmethod
     def from_cover(cls, cover) -> "ArrayTwoHopCover":
         """Convert any reachability cover (protocol-level) to arrays."""
-        new = cls(cover.nodes)
+        # intern in sorted node order when possible: label-sorted
+        # interners make snapshot blobs deterministic and give the
+        # parallel join's global-id remaps their monotonicity
+        try:
+            ordered = sorted(cover.nodes)
+        except TypeError:  # mixed/unorderable node types
+            ordered = cover.nodes
+        new = cls(ordered)
         lin_rows: Dict[int, List[int]] = {}
         lout_rows: Dict[int, List[int]] = {}
         intern = new._intern
@@ -577,7 +788,7 @@ class ArrayTwoHopCover(_ArrayCoverBase):
     def from_csr(cls, payload: Mapping[str, object]) -> "ArrayTwoHopCover":
         """Rebuild a cover from a :meth:`to_csr` payload (block copies)."""
         new = cls()
-        new.interner = NodeInterner(payload["labels"])
+        new.interner = NodeInterner.from_labels(payload["labels"])
         new._nodes = set(payload["active"])
         new._lin = cls._unpack_table(*payload["lin"])
         new._lout = cls._unpack_table(*payload["lout"])
@@ -619,6 +830,15 @@ class ArrayDistanceCover(_ArrayCoverBase):
 
     def _tables(self) -> Tuple[List[Optional[array]], ...]:
         return super()._tables() + (self._lin_dist, self._lout_dist)
+
+    def _absorb_extra(self, other, offset: int) -> None:
+        for dst, src in (
+            (self._lin_dist, other._lin_dist),
+            (self._lout_dist, other._lout_dist),
+        ):
+            for i, row in enumerate(src):
+                if row:
+                    dst[offset + i] = row[:]
 
     # ------------------------------------------------------------------
     # label mutation
@@ -895,7 +1115,14 @@ class ArrayDistanceCover(_ArrayCoverBase):
         rows — O(k log k) per label instead of O(k^2) repeated
         sorted inserts.
         """
-        new = cls(cover.nodes)
+        # intern in sorted node order when possible: label-sorted
+        # interners make snapshot blobs deterministic and give the
+        # parallel join's global-id remaps their monotonicity
+        try:
+            ordered = sorted(cover.nodes)
+        except TypeError:  # mixed/unorderable node types
+            ordered = cover.nodes
+        new = cls(ordered)
         lin_rows: Dict[int, List[Tuple[int, int]]] = {}
         lout_rows: Dict[int, List[Tuple[int, int]]] = {}
         intern = new._intern
@@ -941,7 +1168,7 @@ class ArrayDistanceCover(_ArrayCoverBase):
     def from_csr(cls, payload: Mapping[str, object]) -> "ArrayDistanceCover":
         """Rebuild a cover from a :meth:`to_csr` payload (block copies)."""
         new = cls()
-        new.interner = NodeInterner(payload["labels"])
+        new.interner = NodeInterner.from_labels(payload["labels"])
         new._nodes = set(payload["active"])
         new._lin = cls._unpack_table(*payload["lin"])
         new._lout = cls._unpack_table(*payload["lout"])

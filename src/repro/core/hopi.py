@@ -100,6 +100,13 @@ class BuildStats:
     seconds_join: float = 0.0
     partition_cover_seconds: List[float] = field(default_factory=list)
     partition_closure_connections: List[int] = field(default_factory=list)
+    #: parallel-join accounting (join_shards == 1 means the serial join
+    #: ran and the per-phase join fields stay zero)
+    join_shards: int = 1
+    seconds_join_union: float = 0.0
+    seconds_join_psg: float = 0.0
+    seconds_join_distribute: float = 0.0
+    join_shard_seconds: List[float] = field(default_factory=list)
 
     @property
     def parallel_makespan(self) -> float:
@@ -197,6 +204,8 @@ class HopiIndex:
         backend: str = "sets",
         workers: Optional[int] = None,
         executor: Optional[str] = None,
+        rpc_workers: Optional[List[str]] = None,
+        join_shards: Optional[int] = None,
     ) -> "HopiIndex":
         """Build a HOPI index.
 
@@ -223,12 +232,18 @@ class HopiIndex:
             backend: label backend — ``"sets"`` (dict-of-sets over raw
                 node ids) or ``"arrays"`` (interned dense ids + sorted
                 arrays); identical answers, different representation.
-            workers: size of the process pool covering partitions
+            workers: size of the worker pool covering partitions
                 concurrently (the paper's Section-4 parallel build);
                 ``None``/1 builds serially. Covers are bit-identical
                 for every worker count.
-            executor: ``"serial"`` or ``"process"``; defaults to
-                ``"process"`` when ``workers > 1``.
+            executor: ``"serial"``, ``"process"``, ``"threads"`` or
+                ``"rpc"``; defaults to ``"process"`` when
+                ``workers > 1`` (``"rpc"`` when ``rpc_workers`` given).
+            rpc_workers: ``host:port`` addresses of ``repro
+                build-worker`` daemons for the rpc executor.
+            join_shards: shard count for the recursive join's parallel
+                distribution step (default: the worker count; 1 =
+                serial join). Covers are bit-identical for every value.
         """
         from repro.core.pipeline import BuildPipeline
 
@@ -245,6 +260,8 @@ class HopiIndex:
             backend=backend,
             workers=workers,
             executor=executor,
+            rpc_workers=rpc_workers,
+            join_shards=join_shards,
         )
         cover, stats = pipeline.run()
         return cls(collection, cover, stats=stats)

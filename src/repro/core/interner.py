@@ -40,6 +40,23 @@ class NodeInterner:
         for label in labels:
             self.intern(label)
 
+    @classmethod
+    def from_labels(cls, labels: Iterable[Label]) -> "NodeInterner":
+        """Bulk-build an interner from distinct labels in id order.
+
+        The snapshot-decode fast path: one dict comprehension instead
+        of one :meth:`intern` call per label. ``labels`` must be
+        duplicate-free (snapshot label tables are by construction).
+        """
+        interner = cls()
+        interner._labels = list(labels)
+        if len(interner._labels) - 1 > MAX_INTERNED:  # pragma: no cover
+            raise OverflowError("interner exceeded the int32 id range")
+        interner._id_of = {lab: i for i, lab in enumerate(interner._labels)}
+        if len(interner._id_of) != len(interner._labels):
+            raise ValueError("labels must be distinct")
+        return interner
+
     def intern(self, label: Label) -> int:
         """Return the id of ``label``, assigning the next free id if new."""
         iid = self._id_of.get(label)
@@ -62,6 +79,15 @@ class NodeInterner:
     def labels(self) -> List[Label]:
         """All labels in id order (index == internal id)."""
         return list(self._labels)
+
+    def same_mapping(self, other: "NodeInterner") -> bool:
+        """Do both interners assign identical ids to identical labels?
+
+        One C-level list comparison — the parallel join's assembly uses
+        it to recognise shard covers built in the shared global id
+        space, for which absorbing needs no id translation at all.
+        """
+        return self._labels == other._labels
 
     def __len__(self) -> int:
         return len(self._labels)

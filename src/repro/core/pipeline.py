@@ -11,42 +11,60 @@ is that flow as an explicit three-phase orchestrator:
    partitioners in :mod:`repro.core.partitioning` (always in the
    parent; it is cheap relative to covering);
 2. **partition covers** — each partition's element graph is shipped to
-   a pluggable :class:`PartitionExecutor` as a compact
-   :class:`PartitionTask` (node list + edge list + preselected
-   centers). The ``serial`` executor runs the builds inline; the
-   ``process`` executor fans them out over ``multiprocessing`` workers
-   that return their cover as a CSR snapshot blob
+   a pluggable executor as a compact :class:`PartitionTask` (node list
+   + edge list + preselected centers). The ``serial`` executor runs
+   the builds inline; ``process`` fans them out over
+   ``multiprocessing`` workers; ``threads`` over a
+   ``ThreadPoolExecutor`` (cheap to spawn, and the stepping stone to
+   per-interpreter GILs); ``rpc`` over remote worker daemons
+   (:mod:`repro.core.rpc` — the paper: "this can even be done on
+   different machines"). Every parallel executor's workers return the
+   cover as a CSR snapshot blob
    (:func:`repro.storage.snapshot.snapshot_to_bytes` — the same
    encoding used for on-disk snapshots doubles as the wire format);
-3. **join** — the parent deterministically merges the partition covers
-   with the strategy's join (:mod:`repro.core.join`).
+3. **join** — the parent merges the partition covers with the
+   strategy's join (:mod:`repro.core.join`). For the recursive
+   strategy the distribution step is itself sharded by partition over
+   the same executor (``join_shards``, default = worker count): after
+   the tiny PSG closure, each shard bakes its label deltas into its
+   own partition covers and returns them as snapshot blobs; the parent
+   assembles the merged cover from block copies, deterministically.
 
 Because the greedy cover construction consults only the partition
 closure — never the backend representation or the executor — the final
-cover's label entries are **bit-identical** across executors and
-worker counts, on both the ``sets`` and ``arrays`` backends; the
-randomized suite in ``tests/test_pipeline.py`` pins that property.
+cover's label entries are **bit-identical** across executors, worker
+counts and join shard counts, on both the ``sets`` and ``arrays``
+backends; the randomized suite in ``tests/test_pipeline.py`` pins that
+property.
 
 Most callers reach this module through the facade::
 
     index = HopiIndex.build(collection, workers=4)      # process pool
     index = HopiIndex.build(collection)                 # serial, as before
+    index = HopiIndex.build(                            # remote workers
+        collection, executor="rpc",
+        rpc_workers=["10.0.0.5:9123", "10.0.0.6:9123"],
+    )
 
-or the CLI: ``repro build docs/ -o index.db --workers 4``.
+or the CLI: ``repro build docs/ -o index.db --workers 4`` /
+``--executor rpc --workers host:port,...``.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cover_builder import build_partition_cover
 from repro.core.join import (
+    ParallelJoinStats,
+    _join_shard_worker,
     join_covers_incremental,
     join_covers_incremental_distance,
     join_covers_recursive,
+    join_covers_recursive_parallel,
 )
 from repro.core.partitioning import (
     Partitioning,
@@ -74,7 +92,7 @@ PARTITIONER_ALIASES = {
 }
 
 #: executor names accepted by :class:`BuildPipeline` and the facade
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "process", "threads", "rpc")
 
 
 def normalize_partitioner(name: str) -> str:
@@ -115,12 +133,18 @@ class PartitionTask:
 
 @dataclass
 class PartitionResult:
-    """A built partition cover plus its in-worker accounting."""
+    """A built partition cover plus its in-worker accounting.
+
+    ``wire`` keeps the CSR blob a parallel executor's worker returned
+    (``None`` for inline builds): the parallel join re-uses it for its
+    shard tasks instead of re-encoding the cover.
+    """
 
     pid: int
     cover: object
     seconds: float
     wire_bytes: int = 0
+    wire: Optional[bytes] = None
 
 
 def _partition_cover_worker(task: PartitionTask) -> Tuple[int, bytes, float]:
@@ -181,23 +205,54 @@ class SerialExecutor:
             )
         return results
 
+    def map_join(self, tasks) -> List[Tuple[int, Tuple, float]]:
+        """Run join-shard tasks inline, in shard order.
 
-class ProcessExecutor:
-    """Fan partition builds out over a ``multiprocessing`` pool.
+        Sharding with the serial executor is still meaningful: it is
+        the equivalence baseline of the parallel joins, and its clean
+        (untimesliced) per-shard timings feed the single-CPU LPT model
+        of the build benchmark.
+        """
+        return [_join_shard_worker(task) for task in tasks]
 
-    Workers return CSR snapshot blobs; the parent decodes them and
-    re-represents each cover in the target backend. Partition covers
-    are independent (the paper: the builds "can be done concurrently"),
-    so no coordination beyond the final collection of results is
-    needed.
+
+def decode_partition_results(wires, to_backend: str) -> List[PartitionResult]:
+    """Decode ``(pid, blob, seconds)`` wire triples into ordered
+    :class:`PartitionResult`\\ s in the target backend.
+
+    The shared parent half of every blob-returning executor (process,
+    threads, rpc) — one place to evolve if the wire shape changes. The
+    blob is kept on the result for the parallel join to re-use.
     """
+    from repro.core.hopi import convert_cover
+    from repro.storage.snapshot import snapshot_from_bytes
 
-    name = "process"
+    results = []
+    for pid, payload, seconds in wires:
+        cover = convert_cover(snapshot_from_bytes(payload), to_backend)
+        results.append(
+            PartitionResult(pid, cover, seconds, len(payload), payload)
+        )
+    results.sort(key=lambda r: r.pid)
+    return results
+
+
+class _PoolExecutor:
+    """Shared body of the ``concurrent.futures``-pool executors: ship
+    tasks to :attr:`pool_factory` workers, decode the blob results."""
+
+    #: ``ProcessPoolExecutor`` or ``ThreadPoolExecutor``
+    pool_factory = None
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+
+    def _map(self, fn, tasks) -> list:
+        max_workers = min(self.workers, len(tasks))
+        with self.pool_factory(max_workers=max_workers) as pool:
+            return list(pool.map(fn, tasks))
 
     def run(self, tasks, *, cover_factory, to_backend) -> List[PartitionResult]:
         """Execute ``tasks`` concurrently, preserving partition order.
@@ -208,37 +263,87 @@ class ProcessExecutor:
             to_backend: backend name matching ``cover_factory`` (used
                 to re-represent the decoded array cover).
         """
+        tasks = list(tasks)
         if not tasks:
             return []
-        from repro.core.hopi import convert_cover
-        from repro.storage.snapshot import snapshot_from_bytes
+        return decode_partition_results(
+            self._map(_partition_cover_worker, tasks), to_backend
+        )
 
-        max_workers = min(self.workers, len(tasks))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            wires = list(pool.map(_partition_cover_worker, tasks))
-        results = []
-        for pid, payload, seconds in wires:
-            cover = convert_cover(snapshot_from_bytes(payload), to_backend)
-            results.append(PartitionResult(pid, cover, seconds, len(payload)))
-        results.sort(key=lambda r: r.pid)
-        return results
+    def map_join(self, tasks) -> List[Tuple[int, Tuple, float]]:
+        """Run join-shard tasks over the pool."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        return self._map(_join_shard_worker, tasks)
 
 
-def make_executor(executor: Optional[str], workers: Optional[int]):
+class ProcessExecutor(_PoolExecutor):
+    """Fan partition builds out over a ``multiprocessing`` pool.
+
+    Workers return CSR snapshot blobs; the parent decodes them and
+    re-represents each cover in the target backend. Partition covers
+    are independent (the paper: the builds "can be done concurrently"),
+    so no coordination beyond the final collection of results is
+    needed.
+    """
+
+    name = "process"
+    pool_factory = ProcessPoolExecutor
+
+
+class ThreadsExecutor(_PoolExecutor):
+    """Fan partition builds out over a ``ThreadPoolExecutor``.
+
+    Under today's GIL the pure-Python cover construction timeslices
+    rather than parallelises, but threads cost microseconds to spawn
+    (no interpreter fork, no pickled task channel), share the page
+    cache, and are the seam where per-interpreter-GIL workers will slot
+    in. The snapshot-encode/decode half of the work releases the GIL
+    in ``array``/``bytes`` block copies, so encode-heavy builds already
+    overlap. Workers run the exact blob path of the process executor,
+    so results are bit-identical to every other executor.
+    """
+
+    name = "threads"
+    pool_factory = ThreadPoolExecutor
+
+
+def make_executor(
+    executor: Optional[str],
+    workers: Optional[int],
+    *,
+    rpc_workers: Optional[Sequence[str]] = None,
+):
     """Resolve an executor name + worker count to an executor instance.
 
-    ``None`` picks the natural default: ``process`` when more than one
-    worker was requested, ``serial`` otherwise.
+    ``None`` picks the natural default: ``rpc`` when worker addresses
+    were given, ``process`` when more than one worker was requested,
+    ``serial`` otherwise.
     """
     workers = 1 if workers is None else workers
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if executor is None:
-        executor = "process" if workers > 1 else "serial"
+        if rpc_workers:
+            executor = "rpc"
+        else:
+            executor = "process" if workers > 1 else "serial"
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; one of {EXECUTORS}")
+    if executor == "rpc":
+        from repro.core.rpc import RpcExecutor
+
+        if not rpc_workers:
+            raise ValueError(
+                "executor 'rpc' needs worker addresses "
+                "(rpc_workers=[...] / --workers host:port,...)"
+            )
+        return RpcExecutor(rpc_workers)
     if executor == "process":
         return ProcessExecutor(workers)
+    if executor == "threads":
+        return ThreadsExecutor(workers)
     return SerialExecutor()
 
 
@@ -271,9 +376,17 @@ class BuildPipeline:
         psg_node_limit: threshold for the recursive PSG closure.
         seed: partitioner seed.
         backend: label backend for the result (``sets`` / ``arrays``).
-        workers: process-pool size; ``None``/1 means serial.
-        executor: ``"serial"`` or ``"process"``; default derived from
-            ``workers``.
+        workers: worker count for the pool executors; ``None``/1 means
+            serial.
+        executor: ``"serial"``, ``"process"``, ``"threads"`` or
+            ``"rpc"``; default derived from ``workers`` /
+            ``rpc_workers``.
+        rpc_workers: ``host:port`` addresses of ``repro build-worker``
+            daemons (required for — and implying — the rpc executor).
+        join_shards: shard count for the recursive join's parallel
+            distribution step; default = the executor's worker count,
+            ``1`` forces the serial join. Covers are identical for
+            every value.
     """
 
     def __init__(
@@ -291,6 +404,8 @@ class BuildPipeline:
         backend: str = "sets",
         workers: Optional[int] = None,
         executor: Optional[str] = None,
+        rpc_workers: Optional[Sequence[str]] = None,
+        join_shards: Optional[int] = None,
     ) -> None:
         from repro.core.hopi import BACKENDS
 
@@ -303,6 +418,8 @@ class BuildPipeline:
             )
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; one of {tuple(BACKENDS)}")
+        if join_shards is not None and join_shards < 1:
+            raise ValueError("join_shards must be >= 1")
         self.collection = collection
         self.strategy = strategy
         self.partitioner = partitioner
@@ -313,8 +430,11 @@ class BuildPipeline:
         self.psg_node_limit = psg_node_limit
         self.seed = seed
         self.backend = backend
-        self.workers = 1 if workers is None else workers
-        self.executor = make_executor(executor, workers)
+        self.executor = make_executor(executor, workers, rpc_workers=rpc_workers)
+        self.workers = getattr(self.executor, "workers", 1)
+        self.join_shards = (
+            join_shards if join_shards is not None else self.workers
+        )
         self._plain_factory, self._distance_factory = BACKENDS[backend]
 
     # -- phase 1 --------------------------------------------------------
@@ -371,27 +491,63 @@ class BuildPipeline:
     # -- phase 3 --------------------------------------------------------
     def join(self, partitioning: Partitioning, partition_covers: Sequence) -> object:
         """Merge the partition covers along the cross-partition links."""
+        cover, _ = self._join_with_stats(partitioning, partition_covers)
+        return cover
+
+    def _join_with_stats(
+        self,
+        partitioning: Partitioning,
+        partition_covers: Sequence,
+        partition_blobs: Optional[Dict[int, bytes]] = None,
+    ) -> Tuple[object, Optional[ParallelJoinStats]]:
+        """Phase 3 plus its per-phase accounting.
+
+        The incremental and distance joins are inherently sequential
+        (every link insertion reads the cover the previous one wrote),
+        so only the recursive strategy's distribution step shards; for
+        it, ``join_shards == 1`` is the plain serial join.
+        """
         if self.distance:
             # Section 5 notes the build algorithms carry over; the
             # recursive join's H̄ has no distance analogue in the paper,
             # so distance builds use the incremental join to a fixpoint.
-            return join_covers_incremental_distance(
-                partition_covers,
-                partitioning.cross_links,
-                cover_factory=self._distance_factory,
+            return (
+                join_covers_incremental_distance(
+                    partition_covers,
+                    partitioning.cross_links,
+                    cover_factory=self._distance_factory,
+                ),
+                None,
             )
         if self.strategy == "incremental":
-            return join_covers_incremental(
-                partition_covers,
-                partitioning.cross_links,
-                cover_factory=self._plain_factory,
+            return (
+                join_covers_incremental(
+                    partition_covers,
+                    partitioning.cross_links,
+                    cover_factory=self._plain_factory,
+                ),
+                None,
             )
-        return join_covers_recursive(
-            self.collection,
-            partitioning,
-            partition_covers,
-            psg_node_limit=self.psg_node_limit,
-            cover_factory=self._plain_factory,
+        if self.join_shards > 1:
+            return join_covers_recursive_parallel(
+                self.collection,
+                partitioning,
+                partition_covers,
+                executor=self.executor,
+                join_shards=self.join_shards,
+                psg_node_limit=self.psg_node_limit,
+                cover_factory=self._plain_factory,
+                partition_blobs=partition_blobs,
+            )
+        return (
+            join_covers_recursive(
+                self.collection,
+                partitioning,
+                partition_covers,
+                psg_node_limit=self.psg_node_limit,
+                cover_factory=self._plain_factory,
+            ),
+            None,
         )
 
     # -- the whole flow -------------------------------------------------
@@ -437,7 +593,11 @@ class BuildPipeline:
         seconds_partition_covers = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        cover = self.join(partitioning, [r.cover for r in results])
+        cover, join_stats = self._join_with_stats(
+            partitioning,
+            [r.cover for r in results],
+            {r.pid: r.wire for r in results if r.wire is not None},
+        )
         seconds_join = time.perf_counter() - t0
 
         stats = BuildStats(
@@ -459,4 +619,10 @@ class BuildPipeline:
             seconds_join=seconds_join,
             partition_cover_seconds=[r.seconds for r in results],
         )
+        if join_stats is not None:
+            stats.join_shards = join_stats.shards
+            stats.seconds_join_union = join_stats.seconds_union
+            stats.seconds_join_psg = join_stats.seconds_psg
+            stats.seconds_join_distribute = join_stats.seconds_distribute
+            stats.join_shard_seconds = list(join_stats.shard_seconds)
         return cover, stats

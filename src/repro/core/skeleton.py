@@ -22,11 +22,11 @@ document / partition borders:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.partitioning import Partitioning
 from repro.graph.digraph import DiGraph
-from repro.graph.traversal import bfs_distances, descendants
+from repro.graph.traversal import ancestors, bfs_distances, descendants
 from repro.xmlmodel.model import Collection, DocId, ElementId
 
 
@@ -224,6 +224,8 @@ def build_psg(
 def psg_source_target_closure(
     psg: DiGraph,
     targets: Set[ElementId],
+    *,
+    sources: Optional[Iterable[ElementId]] = None,
 ) -> Dict[ElementId, Set[ElementId]]:
     """``H̄`` of Section 4.1: for every node, the link *targets* it
     reaches in the PSG.
@@ -233,13 +235,33 @@ def psg_source_target_closure(
     collecting target hits suffices. ``H̄in(t) = {t}`` is implicit under
     the never-store-self convention and needs no representation.
 
+    Args:
+        psg: the partition-level skeleton graph.
+        targets: the cross-partition link targets.
+        sources: when given, compute ``H̄out`` only for these nodes —
+            the joins distribute ``H̄out(s)`` for link *sources* only,
+            so restricting the per-node BFS sweep to them skips every
+            pure-target node.
+
     Returns:
         Mapping node -> set of reachable link targets (excluding the
         node itself; a target that is also a source still lists *other*
         targets it reaches).
     """
-    result: Dict[ElementId, Set[ElementId]] = {}
-    for s in psg:
+    wanted = list(psg if sources is None else sources)
+    result: Dict[ElementId, Set[ElementId]] = {s: set() for s in wanted}
+    if len(targets) < len(wanted):
+        # sweep from the (fewer) targets over the reversed PSG instead
+        # of one BFS per source — identical result, |targets| sweeps
+        for t in targets:
+            if t not in psg:
+                continue
+            for a in ancestors(psg, t, strict=True):
+                reach = result.get(a)
+                if reach is not None:
+                    reach.add(t)
+        return result
+    for s in wanted:
         reached = descendants(psg, s, strict=True)
         result[s] = {t for t in reached if t in targets}
     return result

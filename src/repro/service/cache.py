@@ -14,6 +14,17 @@ from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 _MISSING = object()
 
 
+class _InFlight:
+    """One in-flight ``get_or_create`` factory: event plus outcome."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = _MISSING
+        self.error: Optional[BaseException] = None
+
+
 class LRUCache:
     """Bounded mapping with least-recently-used eviction.
 
@@ -28,6 +39,9 @@ class LRUCache:
         self.capacity = capacity
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        # in-flight get_or_create factories, keyed like the cache
+        self._flight_lock = threading.Lock()
+        self._inflight: Dict[Hashable, "_InFlight"] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -60,20 +74,54 @@ class LRUCache:
                 self.evictions += 1
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
-        """Cached value, or ``factory()`` inserted and returned.
+        """Cached value, or ``factory()`` computed once and returned.
 
-        The factory runs outside the lock (it may be slow); concurrent
-        callers may both compute, last write wins — acceptable for pure
-        factories like path parsing. Use
-        :class:`repro.service.coalesce.CoalescingCache` when duplicated
-        computation must be prevented.
+        The factory runs outside the main lock (it may be slow), but
+        concurrent callers that miss on the same key elect a single
+        leader: only the leader runs ``factory()``, the rest block on
+        its completion and share the value (or its exception) — the
+        same single-flight semantics as
+        :meth:`repro.service.coalesce.CoalescingCache.get_or_compute`,
+        without the source/counter bookkeeping. Two threads can
+        therefore never race their ``put``\\ s for one key.
         """
         value = self.get(key, _MISSING)
         if value is not _MISSING:
             return value
-        value = factory()
-        self.put(key, value)
-        return value
+
+        with self._flight_lock:
+            # re-check: the leader caches before releasing its waiters,
+            # so a hit here is final
+            value = self.peek(key, _MISSING)
+            if value is not _MISSING:
+                return value
+            pending = self._inflight.get(key)
+            if pending is None:
+                pending = _InFlight()
+                self._inflight[key] = pending
+                leader = True
+            else:
+                leader = False
+
+        if not leader:
+            pending.event.wait()
+            if pending.error is not None:
+                raise pending.error
+            return pending.value
+
+        try:
+            value = factory()
+        except BaseException as exc:
+            pending.error = exc
+            raise
+        else:
+            pending.value = value
+            self.put(key, value)
+            return value
+        finally:
+            with self._flight_lock:
+                self._inflight.pop(key, None)
+            pending.event.set()
 
     def clear(self) -> None:
         """Drop every entry (hit/miss/eviction counters are kept)."""

@@ -99,14 +99,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._dispatch(url.path, parse_qs(url.query), None)
 
     def do_POST(self) -> None:  # noqa: N802
-        """Route a POST request with an optional JSON body."""
+        """Route a POST request with an optional JSON body.
+
+        Malformed requests — an unparsable ``Content-Length``, a body
+        that is not valid JSON — are answered with a structured 400
+        ``{"error": ...}`` before any handler runs, so a bad ``/update``
+        batch can never touch the index or advance the epoch.
+        """
         url = urlparse(self.path)
-        length = int(self.headers.get("Content-Length", "0"))
-        raw = self.rfile.read(length) if length else b""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json(400, {"error": "invalid Content-Length header"})
+            return
+        raw = self.rfile.read(length) if length > 0 else b""
         try:
             body = json.loads(raw.decode("utf-8")) if raw else {}
-        except ValueError:
-            self._send_json(400, {"error": "request body is not valid JSON"})
+        except ValueError as exc:
+            self._send_json(
+                400, {"error": f"request body is not valid JSON: {exc}"}
+            )
             return
         self._dispatch(url.path, parse_qs(url.query), body)
 

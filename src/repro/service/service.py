@@ -297,7 +297,10 @@ class QueryService:
             epoch, reports = self.apply(run)
         except UpdateError:
             raise
-        except (KeyError, ValueError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError, AttributeError) as exc:
+            # malformed op shapes (wrong types, missing fields, children
+            # that are not objects, ...) all fail the batch as a 400 —
+            # the shadow is discarded, the epoch does not advance
             raise UpdateError(f"update failed: {exc}") from exc
         return {"epoch": epoch, "applied": len(reports), "reports": reports}
 

@@ -171,6 +171,32 @@ def snapshot_from_bytes(data: bytes) -> ArrayCover:
     return read_snapshot(io.BytesIO(data), name="<bytes>")
 
 
+def canonical_snapshot_bytes(cover) -> bytes:
+    """A byte-deterministic snapshot encoding of any cover.
+
+    Plain snapshots serialise the array backend's interner order, which
+    depends on construction history (union order, maintenance, backend
+    conversions). Here the cover is re-represented with nodes interned
+    in sorted order and entries inserted in sorted order, so **any two
+    covers with equal node universes and label-entry sets encode to
+    identical bytes** — regardless of backend, executor, worker count
+    or join shard count. The equivalence test suite and the CI
+    rpc-smoke job rely on this to diff whole builds with one byte
+    comparison.
+    """
+    factory = ArrayDistanceCover if cover.is_distance_aware else ArrayTwoHopCover
+    fresh = factory(sorted(cover.nodes))
+    if cover.is_distance_aware:
+        for kind, node, center, dist in sorted(cover.entries()):
+            add = fresh.add_lin if kind == "in" else fresh.add_lout
+            add(node, center, dist)
+    else:
+        for kind, node, center in sorted(cover.entries()):
+            add = fresh.add_lin if kind == "in" else fresh.add_lout
+            add(node, center)
+    return snapshot_to_bytes(fresh)
+
+
 class SnapshotCoverStore(CoverStore):
     """A :class:`CoverStore` over a CSR snapshot file.
 

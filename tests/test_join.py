@@ -6,6 +6,7 @@ the transitive-closure oracle on both hand-built and random collections.
 
 import pytest
 
+from repro.core.cover import TwoHopCover
 from repro.core.cover_builder import build_cover
 from repro.core.distance import build_distance_cover
 from repro.core.join import (
@@ -191,3 +192,75 @@ def test_incremental_join_distance_random(seed):
     covers = _partition_and_cover(c, partitioning, distance=True)
     joined = join_covers_incremental_distance(covers, partitioning.cross_links)
     joined.verify_against(distance_closure(c.element_graph()))
+
+
+# ---------------------------------------------------------------------------
+# the incremental join's empty-label short-circuit
+# ---------------------------------------------------------------------------
+
+
+class ProbeCountingCover(TwoHopCover):
+    """A set-backed cover that counts ancestor/descendant probes."""
+
+    def __init__(self, nodes=()):
+        super().__init__(nodes)
+        self.probes = 0
+
+    def ancestors(self, v):
+        self.probes += 1
+        return super().ancestors(v)
+
+    def descendants(self, u):
+        self.probes += 1
+        return super().descendants(u)
+
+
+def test_insert_link_skips_probes_for_fresh_endpoints():
+    """Regression: endpoints with empty labels have ancestors == {u} and
+    descendants == {v} by definition; insert_link must not pay an
+    ancestors()/descendants() probe against the growing cover for them."""
+    cover = ProbeCountingCover()
+    added = insert_link(cover, 1, 2)
+    assert cover.probes == 0, "fresh endpoints must not probe the cover"
+    assert added == 1  # exactly Lout(1) ∋ 2; Lin(2) would be a self-entry
+    assert cover.connected(1, 2) and not cover.connected(2, 1)
+
+    # a second disconnected link: still no probing needed
+    insert_link(cover, 3, 4)
+    assert cover.probes == 0
+
+    # chaining onto labelled endpoints must still probe (2 has a Lin
+    # entry => descendants(2) goes through the backward index; 1 now
+    # carries Lout => ancestors via nodes_with_lout_center)
+    insert_link(cover, 2, 3)
+    assert cover.probes == 2
+    g = DiGraph([(1, 2), (3, 4), (2, 3)])
+    cover.verify_against(transitive_closure(g))
+
+
+def test_incremental_join_probe_count_on_fresh_links():
+    """Covers whose link endpoints are unlabeled join without a single
+    ancestor/descendant probe (the common leaf-to-leaf link case)."""
+    left = ProbeCountingCover([1, 2])    # no label entries at all
+    right = ProbeCountingCover([3, 4])
+    merged = join_covers_incremental(
+        [left, right], [(1, 3)], cover_factory=ProbeCountingCover
+    )
+    assert isinstance(merged, ProbeCountingCover)
+    assert merged.probes == 0
+    assert merged.connected(1, 3) and not merged.connected(3, 1)
+    assert merged.connected(2, 2)  # universe survived the union
+
+
+def test_incremental_join_still_probes_labelled_endpoints():
+    c = random_collection(n_docs=5, inter_links=9, seed=77)
+    partitioning = partition_by_node_weight(c, 12, seed=0)
+    covers = _partition_and_cover(c, partitioning)
+    counting = join_covers_incremental(
+        covers, partitioning.cross_links, cover_factory=ProbeCountingCover
+    )
+    counting.verify_against(transitive_closure(c.element_graph()))
+    # the short-circuit is an optimisation, not a behaviour change:
+    # the default factory joins to the identical cover
+    plain = join_covers_incremental(covers, partitioning.cross_links)
+    assert sorted(counting.entries()) == sorted(plain.entries())

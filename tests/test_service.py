@@ -74,6 +74,53 @@ class TestLRUCache:
         assert cache.get_or_create("k", lambda: calls.append(1) or 43) == 42
         assert len(calls) == 1
 
+    def test_get_or_create_concurrent_misses_compute_once(self):
+        """Regression: two threads missing concurrently used to both
+        run the factory, with the second ``put`` silently overwriting
+        the first — get_or_create now has single-flight semantics."""
+        cache = LRUCache(4)
+        barrier = threading.Barrier(2)
+        follower_started = threading.Event()
+        calls = []
+        results = []
+
+        def factory():
+            calls.append(threading.get_ident())
+            # hold the leader until the second thread has entered
+            # get_or_create, forcing the miss windows to overlap
+            follower_started.wait(timeout=5.0)
+            return object()
+
+        def leader():
+            barrier.wait()
+            results.append(cache.get_or_create("k", factory))
+
+        def follower():
+            barrier.wait()
+            follower_started.set()
+            results.append(cache.get_or_create("k", factory))
+
+        threads = [
+            threading.Thread(target=leader),
+            threading.Thread(target=follower),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(calls) == 1, "factory must run exactly once"
+        assert len(results) == 2 and results[0] is results[1]
+        assert cache.get("k") is results[0]
+
+    def test_get_or_create_factory_error_not_cached(self):
+        cache = LRUCache(2)
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("k", lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            ))
+        # the failure is not cached and does not wedge the key
+        assert cache.get_or_create("k", lambda: 7) == 7
+
     def test_peek_does_not_count(self):
         cache = LRUCache(2)
         cache.put("a", 1)
@@ -551,6 +598,50 @@ class TestHTTP:
             with pytest.raises(urllib.error.HTTPError) as err:
                 post_json(f"{base}/update", bad_body)
             assert err.value.code == 400
+
+    def test_malformed_update_is_400_and_epoch_unchanged(self, http_service):
+        """Regression: malformed /update batches used to surface as raw
+        500s; they must be structured 400s that never touch the index."""
+        service, base = http_service
+        epoch_before = service.epoch
+        size_before = service.index.cover.size
+
+        # body that is not valid JSON at all
+        req = urllib.request.Request(
+            f"{base}/update", data=b'{"ops": [not json',
+            method="POST", headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        assert err.value.code == 400
+        assert "error" in json.loads(err.value.read())
+
+        # parseable JSON whose op shapes are malformed in various ways
+        root_doc = sorted(service.index.collection.documents)[0]
+        root = service.index.collection.documents[root_doc].root
+        bad_batches = [
+            {"ops": [{"op": "insert_element", "parent": None, "tag": "x"}]},
+            {"ops": [{"op": "insert_document", "doc_id": "z9",
+                      "children": [42]}]},          # child not an object
+            {"ops": [{"op": "insert_edge", "source": "abc", "target": 1}]},
+            {"ops": [41, 42]},                        # ops not objects
+            # a valid op followed by a broken one: all-or-nothing means
+            # even the valid prefix must be discarded
+            {"ops": [{"op": "insert_element", "parent": root, "tag": "ok"},
+                     {"op": "florble"}]},
+        ]
+        for batch in bad_batches:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(f"{base}/update", batch)
+            assert err.value.code == 400, batch
+            assert "error" in json.loads(err.value.read())
+
+        status, stats = get_json(f"{base}/stats")
+        assert status == 200
+        assert stats["epoch"] == epoch_before, "failed batch advanced the epoch"
+        assert service.epoch == epoch_before
+        assert service.index.cover.size == size_before
+        assert service.stats()["swaps"] == 0
 
     def test_concurrent_http_clients(self, http_service):
         service, base = http_service
