@@ -18,6 +18,7 @@ from repro.bench.harness import (
     descendant_step_workload,
     emit_bench_query_entry,
     run_backend_query_benchmark,
+    run_planner_benchmark,
 )
 from repro.core.hopi import HopiIndex
 from repro.graph.closure import transitive_closure
@@ -127,16 +128,23 @@ def test_descendant_step_arrays(benchmark, descendant_workload):
 
 
 def test_backend_comparison_records_trajectory(dblp):
-    """Array backend beats sets on the descendant-step workload.
+    """Array backend beats sets on the descendant-step workload, and
+    the planner beats the naive order on the selective-tail workload.
 
-    The default run only checks that both backends produce answers
-    (equality is enforced inside the harness); no wall-clock assertion,
-    so shared CI runners can't fail the build on timing noise. Set
-    ``REPRO_BENCH_RECORD=1`` to enforce the ≥ 2x regression bar and
-    append the measurement to the repo-root BENCH_query.json
-    trajectory (the acceptance record lives there)."""
+    The default run only checks that both backends (and both join
+    orders) produce identical answers — equality is enforced inside
+    the harness; no wall-clock assertion, so shared CI runners can't
+    fail the build on timing noise. Set ``REPRO_BENCH_RECORD=1`` to
+    enforce the ≥ 2x regression bars and append the measurement to the
+    repo-root BENCH_query.json trajectory (the acceptance record lives
+    there)."""
     rows = run_backend_query_benchmark(dblp)
+    planner = run_planner_benchmark()
     assert set(rows) == {"sets", "arrays"}
+    assert set(planner) == {"sets", "arrays"}
     if os.environ.get("REPRO_BENCH_RECORD"):
-        entry = emit_bench_query_entry(rows, path=REPO_ROOT / "BENCH_query.json")
+        entry = emit_bench_query_entry(
+            rows, planner=planner, path=REPO_ROOT / "BENCH_query.json"
+        )
         assert entry["speedup_arrays_vs_sets"] >= 2.0, entry
+        assert entry["speedup_planned_vs_naive"] >= 2.0, entry

@@ -1,6 +1,8 @@
 """Regenerate the paper's experiments and the serving-tier benchmark.
 
 ``python -m repro.bench`` runs the Section-7 suite (the default);
+``python -m repro.bench query`` runs just the label-backend and
+selective-tail planner workloads and appends to ``BENCH_query.json``;
 ``python -m repro.bench service`` drives the serving tier under
 concurrent load and appends to ``BENCH_service.json``;
 ``python -m repro.bench build`` compares serial vs parallel
@@ -23,6 +25,7 @@ from repro.bench.harness import (
     run_edge_weight_ablation,
     run_insert_document_experiment,
     run_maintenance_experiment,
+    run_planner_benchmark,
     run_query_benchmark,
     run_table1,
     run_table2,
@@ -279,9 +282,18 @@ def run_paper_suite() -> None:
         title="Query performance (E16; [26] covers this in depth)",
     )
 
-    # ---- label backends on the descendant-step workload ------------------
+    # ---- label backends + planner (one BENCH_query.json entry) -----------
+    run_query_suite(dblp)
+
+
+def run_query_suite(dblp=None) -> None:
+    """The query benchmark: label backends on the descendant-step
+    workload plus the selective-tail planner comparison — both recorded
+    in one ``BENCH_query.json`` entry."""
+    dblp = dblp if dblp is not None else bench_dblp()
     rows = run_backend_query_benchmark(dblp)
-    entry = emit_bench_query_entry(rows)
+    planner = run_planner_benchmark()
+    entry = emit_bench_query_entry(rows, planner=planner)
     print_table(
         ["backend", "queries", "cands", "p50 ms", "p95 ms", "total s", "|L|"],
         [
@@ -297,6 +309,22 @@ def run_paper_suite() -> None:
             "appended to BENCH_query.json)"
         ),
     )
+    print_table(
+        ["backend", "path", "matches", "naive s", "planned s", "speedup"],
+        [
+            (
+                r.backend, r.path, r.matches, round(r.naive_seconds, 4),
+                round(r.planned_seconds, 4), r.speedup,
+            )
+            for r in planner.values()
+        ],
+        title=(
+            "Selective-tail planner workload: planned (backward "
+            "ancestors-side probes) vs naive left-to-right "
+            f"(headline {entry.get('speedup_planned_vs_naive', '-')}x; "
+            "≥ 2x is the bar)"
+        ),
+    )
 
 
 def main() -> None:
@@ -307,12 +335,17 @@ def main() -> None:
     )
     parser.add_argument(
         "suite", nargs="?", default="paper",
-        choices=["paper", "service", "build", "all"],
-        help="which benchmark suite to run (default: paper)",
+        choices=["paper", "query", "service", "build", "all"],
+        help="which benchmark suite to run (default: paper; 'query' "
+             "runs just the label-backend + planner workloads and "
+             "appends to BENCH_query.json)",
     )
     args = parser.parse_args()
     if args.suite in ("paper", "all"):
         run_paper_suite()
+    if args.suite == "query":
+        print(f"HOPI query benchmark (scale {workload_scale()}x)\n")
+        run_query_suite()
     if args.suite in ("service", "all"):
         run_service_suite()
     if args.suite in ("build", "all"):

@@ -500,6 +500,87 @@ def run_backend_query_benchmark(
     return results
 
 
+@dataclass
+class PlannerQueryRow:
+    """Planned vs naive evaluation of the selective-tail workload."""
+
+    backend: str
+    path: str
+    matches: int
+    naive_seconds: float
+    planned_seconds: float
+    speedup: float
+
+
+def run_planner_benchmark(
+    collection: Optional[Collection] = None,
+    *,
+    backends: Sequence[str] = ("sets", "arrays"),
+    path: Optional[str] = None,
+    repeats: int = 3,
+) -> Dict[str, PlannerQueryRow]:
+    """Selective-tail workload: planned join order vs naive left-to-right.
+
+    The query (default ``//*//erratum`` over
+    :func:`~repro.bench.workloads.bench_dblp_selective`) has an
+    unselective head and a rare tail. The naive order issues one
+    forward ``connected_many`` probe per head element; the
+    selectivity-driven planner seeds at the tail and resolves the join
+    with a handful of backward ``ancestors``-side probes. Results are
+    asserted identical (bindings *and* scores) before any timing is
+    recorded — a plan that changes answers is a bug, not a win.
+    """
+    from repro.bench.workloads import SELECTIVE_RARE_TAG, bench_dblp_selective
+    from repro.query.engine import QueryEngine
+
+    if collection is None:
+        collection = bench_dblp_selective()
+    if path is None:
+        path = f"//*//{SELECTIVE_RARE_TAG}"
+    base = HopiIndex.build(
+        collection, strategy="recursive", partitioner="node_weight",
+        partition_limit=max(collection.num_elements // 16, 1),
+    )
+
+    results: Dict[str, PlannerQueryRow] = {}
+    reference: Optional[List[Tuple[tuple, float]]] = None
+    for backend in backends:
+        index = HopiIndex(collection, convert_cover(base.cover, backend))
+        engine = QueryEngine(index, max_results=10**9)
+        timings: Dict[str, float] = {}
+        answers: Dict[str, List[Tuple[tuple, float]]] = {}
+        for order in ("naive", "selective"):
+            engine.evaluate(path, order=order)  # warm candidate memos
+            best = math.inf
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                rows = engine.evaluate(path, order=order)
+                best = min(best, time.perf_counter() - t0)
+            timings[order] = best
+            answers[order] = [(r.bindings, r.score) for r in rows]
+        if answers["naive"] != answers["selective"]:
+            raise RuntimeError(
+                f"planner changed answers on backend {backend!r}"
+            )
+        if reference is None:
+            reference = answers["naive"]
+        elif answers["naive"] != reference:
+            raise RuntimeError(
+                f"backend {backend!r} answers diverge on the planner workload"
+            )
+        results[backend] = PlannerQueryRow(
+            backend=backend,
+            path=path,
+            matches=len(answers["naive"]),
+            naive_seconds=timings["naive"],
+            planned_seconds=timings["selective"],
+            speedup=round(
+                timings["naive"] / max(timings["selective"], 1e-9), 2
+            ),
+        )
+    return results
+
+
 def default_trajectory_path() -> Path:
     """The repo-root (or cwd) ``BENCH_query.json`` path."""
     return anchored_trajectory_path("BENCH_query.json")
@@ -508,6 +589,7 @@ def default_trajectory_path() -> Path:
 def emit_bench_query_entry(
     rows: Dict[str, BackendQueryRow],
     *,
+    planner: Optional[Dict[str, PlannerQueryRow]] = None,
     path: Union[str, Path, None] = None,
     collection_name: str = "DBLP",
     workload: str = "descendant-step",
@@ -515,7 +597,10 @@ def emit_bench_query_entry(
     """Append one trajectory entry to ``BENCH_query.json``.
 
     The file holds a JSON list; each run appends, so future PRs can
-    diff latency and index size against history.
+    diff latency and index size against history. ``planner`` adds the
+    selective-tail planned-vs-naive comparison
+    (:func:`run_planner_benchmark`); its headline
+    ``speedup_planned_vs_naive`` is the arrays-backend figure.
     """
     if path is None:
         path = default_trajectory_path()
@@ -528,6 +613,15 @@ def emit_bench_query_entry(
         entry["speedup_arrays_vs_sets"] = round(
             rows["sets"].total_seconds / max(rows["arrays"].total_seconds, 1e-9), 2
         )
+    if planner:
+        entry["planner"] = {
+            "workload": "selective-tail",
+            "backends": {
+                name: asdict(row) for name, row in planner.items()
+            },
+        }
+        headline = planner.get("arrays") or next(iter(planner.values()))
+        entry["speedup_planned_vs_naive"] = headline.speedup
     return append_trajectory(path, entry)
 
 

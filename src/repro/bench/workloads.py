@@ -34,6 +34,11 @@ DEFAULT_INEX_ELEMENTS_PER_DOC = 380
 DEFAULT_INEX_LINKED_CITES = 48
 #: bibliography elements carrying those citations, per document
 DEFAULT_INEX_LINKED_BIBS = 6
+#: one document in this many carries the rare tail tag of the
+#: selective-tail planner workload
+SELECTIVE_RARE_EVERY = 100
+#: the rare tag itself (absent from the generators' vocabularies)
+SELECTIVE_RARE_TAG = "erratum"
 
 
 def workload_scale() -> float:
@@ -57,6 +62,32 @@ def bench_inex(scale: float | None = None) -> Collection:
         seed=2005,
         elements_per_doc=DEFAULT_INEX_ELEMENTS_PER_DOC,
     )
+
+
+@lru_cache(maxsize=4)
+def bench_dblp_selective(scale: float | None = None) -> Collection:
+    """The DBLP-like collection with a **rare tail tag** planted.
+
+    Every :data:`SELECTIVE_RARE_EVERY`-th document (at least two)
+    gains one ``erratum`` child under its root — a tag that appears
+    nowhere else, making ``//*//erratum`` the paper-motivated
+    selective-*tail* query: the head step matches every element, the
+    tail a handful. The left-to-right evaluator pays one forward probe
+    per head binding; the selectivity-driven planner seeds at the tail
+    and probes backward over the cover's ``ancestors`` side — the gap
+    between the two is what ``BENCH_query.json``'s planner entry
+    records.
+    """
+    scale = workload_scale() if scale is None else scale
+    collection = dblp_like(max(int(DEFAULT_DBLP_DOCS * scale), 10), seed=2005)
+    docs = sorted(collection.documents)
+    rare_docs = docs[:: SELECTIVE_RARE_EVERY] if len(docs) > 2 else docs[:2]
+    if len(rare_docs) < 2:
+        rare_docs = docs[:2]
+    for doc_id in rare_docs:
+        collection.add_child(collection.documents[doc_id].root,
+                             SELECTIVE_RARE_TAG)
+    return collection
 
 
 @lru_cache(maxsize=4)

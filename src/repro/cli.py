@@ -12,16 +12,20 @@ Usage (also via ``python -m repro``)::
     # generate a synthetic benchmark collection as XML files
     python -m repro generate dblp -n 100 -o corpus/
 
-    # query a persisted index
+    # query a persisted index (predicates, windows, EXPLAIN)
     python -m repro query index.db "//article//author"
+    python -m repro query index.db "//article[keywords]//cite" --limit 10
+    python -m repro query index.db "//*//author" --explain
     python -m repro connected index.db 3 17
     python -m repro stats index.db
 
     # incremental maintenance on the persisted index
     python -m repro delete-doc index.db dblp42
 
-    # serve the index over HTTP (concurrent queries, result caching,
-    # zero-downtime /update hot-swap)
+    # serve the index over HTTP: the versioned /v1 API (query, count,
+    # explain, connected, distance, update, stats) with concurrent
+    # queries, result caching and zero-downtime update hot-swap;
+    # un-versioned routes keep answering as deprecated aliases
     python -m repro serve index.db --port 8080 --backend arrays
 
 Documents are identified by file stem; XLink ``href`` attributes resolve
@@ -172,9 +176,29 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.query.pathexpr import parse_path
+
     index = load_index(args.index, backend=args.backend)
-    engine = QueryEngine(index, max_results=args.limit)
-    results = engine.evaluate(args.path)
+    engine = QueryEngine(
+        index,
+        max_results=args.max_results,
+        similarity_threshold=args.similarity_threshold,
+        planner=args.planner,
+    )
+    expr = parse_path(args.path)
+    # CLI window flags override the expression's own limit/offset; a
+    # plain `repro query` still prints the top 20 like it always did
+    limit = args.limit if args.limit is not None else expr.limit
+    if limit is None:
+        limit = 20
+    offset = args.offset if args.offset is not None else expr.offset
+    expr = replace(expr, limit=limit, offset=offset)
+    if args.explain:
+        print(engine.explain(expr))
+        return 0
+    results = engine.evaluate(expr)
     collection = index.collection
     for r in results:
         element = collection.elements[r.target]
@@ -238,6 +262,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = QueryService(
         index,
         max_results=args.max_results,
+        similarity_threshold=args.similarity_threshold,
         result_cache_size=args.result_cache,
         probe_cache_size=args.probe_cache,
     )
@@ -333,8 +358,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("query", help="evaluate a //-path expression")
     p.add_argument("index")
-    p.add_argument("path", help='e.g. "//article//author" or "//~book//author"')
-    p.add_argument("--limit", type=int, default=20)
+    p.add_argument("path",
+                   help='e.g. "//article//author", "//~book//author", or '
+                        '"//article[keywords]//cite limit 10 offset 20"')
+    p.add_argument("--limit", type=int, default=None,
+                   help="cap the ranked results printed (default: the "
+                        "expression's own 'limit N', else 20)")
+    p.add_argument("--offset", type=int, default=None,
+                   help="skip the first N ranked results (default: the "
+                        "expression's own 'offset N', else 0)")
+    p.add_argument("--explain", action="store_true",
+                   help="print the physical plan (estimates, join order, "
+                        "probe directions) instead of evaluating")
+    p.add_argument("--planner", default="selective",
+                   choices=["selective", "naive"],
+                   help="join-ordering mode: selectivity-driven (may flip "
+                        "descendant joins to backward ancestors-side "
+                        "probes) or the naive left-to-right order; "
+                        "answers are identical")
+    p.add_argument("--max-results", type=int, default=1000,
+                   help="engine-level ranked-result truncation (the "
+                        "serving tier's knob, now settable here too)")
+    p.add_argument("--similarity-threshold", type=float, default=0.3,
+                   help="minimum ontology similarity for a ~tag step to "
+                        "include a tag (the serving tier's knob, now "
+                        "settable here too)")
     p.add_argument("--backend", default=None, choices=["sets", "arrays"],
                    help="label backend to load the cover into; 'arrays' "
                         "uses the batched descendant-step hot path "
@@ -356,8 +404,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="serve a persisted index over HTTP "
-             "(/query /count /connected /distance /update /stats)",
+        help="serve a persisted index over HTTP — the versioned /v1 "
+             "API (query count explain connected distance update "
+             "stats) plus deprecated un-versioned aliases",
     )
     p.add_argument("index")
     p.add_argument("--host", default="127.0.0.1")
@@ -367,6 +416,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="label backend to serve from (default: as built; "
                         "'arrays' is the fast descendant-step path)")
     p.add_argument("--max-results", type=int, default=1000)
+    p.add_argument("--similarity-threshold", type=float, default=0.3,
+                   help="minimum ontology similarity for ~tag steps")
     p.add_argument("--result-cache", type=int, default=4096,
                    help="entries in the (path, epoch) result LRU")
     p.add_argument("--probe-cache", type=int, default=8192,

@@ -4,20 +4,30 @@ The paper motivates HOPI with XPath ``//`` (descendant-or-self) steps
 over link-rich collections and with the XXL search engine's ranked
 queries like ``//~book//author`` (Section 5.1), where ``~`` requests
 ontology-based tag similarity and results are ranked by a combination of
-tag similarity and link distance. This package provides:
+tag similarity and link distance. This package is an explicit
+three-layer query stack:
 
-* :mod:`repro.query.pathexpr` — a parser for the path dialect
-  (``/child``, ``//descendant``, ``*`` wildcards, ``~tag`` similarity);
+* :mod:`repro.query.pathexpr` — the AST: a parser for the path dialect
+  (``/child``, ``//descendant``, ``*`` wildcards, ``~tag`` similarity,
+  ``[predicate]`` existence filters, ``limit``/``offset`` windows);
+* :mod:`repro.query.plan` — logical plans (Scan, ChildJoin,
+  DescendantJoin, Filter, Rank, Limit) and the canonical plan key;
+* :mod:`repro.query.planner` — the selectivity-driven physical planner
+  (cardinality estimates, zig-zag join ordering, backward
+  ``ancestors``-side probes) and :class:`PreparedQuery`;
+* :mod:`repro.query.exec` — generator-based physical operators that
+  stream bindings and terminate early for ``count``/``exists``/limits;
+* :mod:`repro.query.engine` — the :class:`QueryEngine` facade tying the
+  layers together (plus ranking and distance-aware scoring);
 * :mod:`repro.query.ontology` — a miniature tag ontology with
-  similarity scores;
-* :mod:`repro.query.engine` — the evaluator: child steps use the tree,
-  descendant steps use HOPI reachability, and ranking uses the distance
-  index when available.
+  similarity scores.
 """
 
 from repro.query.engine import QueryEngine, QueryResult
 from repro.query.ontology import TagOntology, default_ontology
-from repro.query.pathexpr import PathExpression, Step, parse_path
+from repro.query.pathexpr import PathExpression, Predicate, Step, parse_path
+from repro.query.plan import LogicalPlan, build_logical_plan, plan_key
+from repro.query.planner import PhysicalPlan, PreparedQuery, plan_query
 
 __all__ = [
     "QueryEngine",
@@ -25,6 +35,13 @@ __all__ = [
     "TagOntology",
     "default_ontology",
     "PathExpression",
+    "Predicate",
     "Step",
     "parse_path",
+    "LogicalPlan",
+    "build_logical_plan",
+    "plan_key",
+    "PhysicalPlan",
+    "PreparedQuery",
+    "plan_query",
 ]

@@ -1,36 +1,47 @@
 """Evaluating path expressions with the HOPI index.
 
-The evaluator binds each step of a path expression to elements,
-left-to-right:
+The engine is a thin facade over the three-layer query stack::
 
-* the element test selects candidates from the collection's tag index
-  (``~tag`` expands to ontologically similar tags, each carrying its
-  similarity score; ``*`` matches every tag);
-* a ``child`` step keeps candidates whose parent is bound to the
-  previous step;
-* a ``descendant`` step keeps candidates **reachable from** the previous
-  binding — one batched HOPI ``connected_many`` probe per distinct
-  source instead of a graph traversal, which is exactly the paper's
-  reason for the index (and the reason wildcards and links are no
-  harder than plain paths). On the array backend the whole candidate
-  batch is answered from a single descendant-set materialisation over
-  dense node ids.
+    AST (pathexpr) → logical plan (plan) → physical plan (planner)
+                                         → streaming operators (exec)
 
-Scores combine tag similarities multiplicatively; when the index is
-distance-aware, each descendant hop is additionally discounted by
-``1 / (1 + distance)`` — "a path where an author element is found far
-away from a book element should be ranked lower" (Section 5.1).
+:meth:`QueryEngine.evaluate` parses, plans and runs the operator
+pipeline, then ranks: scores combine tag similarities multiplicatively
+and, when the index is distance-aware, each descendant hop is
+discounted by ``1 / (1 + distance)`` — "a path where an author element
+is found far away from a book element should be ranked lower"
+(Section 5.1). Scores are recomputed per result in canonical
+left-to-right association, so every join order the planner picks is
+**bit-identical** to the legacy left-to-right evaluator (pinned by the
+differential suite in ``tests/test_query_pipeline.py``).
+
+What the planner buys: a ``//*//rare_tag`` query no longer materialises
+one binding per element of the unselective head — the pipeline seeds at
+the rare tail and probes *backward* over the cover's ``ancestors``
+side. ``count`` aggregates ``element → multiplicity`` frontiers (never
+materialising tuples), ``exists`` stops at the first match, and
+``stream`` yields unranked results lazily, honouring the expression's
+``limit`` without draining the pipeline.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.hopi import HopiIndex
+from repro.query.exec import ExecContext, run_bindings, run_count
 from repro.query.ontology import TagOntology, default_ontology
-from repro.query.pathexpr import PathExpression, Step, parse_path
+from repro.query.pathexpr import PathExpression, Step
+from repro.query.plan import LogicalPlan, build_logical_plan
+from repro.query.planner import PhysicalPlan, PreparedQuery, plan_query
 from repro.xmlmodel.model import ElementId
+
+#: Anything the engine's entry points accept as a query: raw text, a
+#: parsed expression, a lowered logical plan, or a prepared query
+#: (whose cached lowering is reused — the service layer's hot path).
+Query = "str | PathExpression | LogicalPlan | PreparedQuery"
 
 #: Identity of a step's candidate list: ``(tag, similar)``. Two steps
 #: with the same key select the same candidates (wildcards use ``"*"``),
@@ -41,7 +52,9 @@ StepKey = Tuple[str, bool]
 #: A descendant-step probe: ``probe(source, step_key, candidates)``
 #: returns the indices into ``candidates`` reachable from ``source``.
 #: The default computes via ``index.connected_many``; the service layer
-#: substitutes a per-epoch, cross-thread coalescing cache.
+#: substitutes a per-epoch, cross-thread coalescing cache. Backward
+#: (``ancestors``-side) probes are answered from the execution
+#: context's materialisation memo and never reach this hook.
 Probe = Callable[[ElementId, StepKey, Sequence[ElementId]], List[int]]
 
 
@@ -67,12 +80,24 @@ class QueryEngine:
     """Path-expression evaluation over a :class:`HopiIndex`.
 
     Evaluation is **re-entrant**: :meth:`evaluate` and :meth:`count`
-    mutate no instance state beyond a benign candidate-memo fill, so one
-    engine can serve many threads at once — the service layer keeps a
-    single engine per published index epoch and lets every reader share
-    its tag index and candidate memo. Both methods also take an explicit
+    mutate no instance state beyond benign memo fills, so one engine
+    can serve many threads at once — the service layer keeps a single
+    engine per published index epoch and lets every reader share its
+    tag index and candidate memos. Both methods also take an explicit
     ``index`` so pooled engines (e.g. one per label backend over the
     same collection) can share one engine's derived state.
+
+    Args:
+        index: the index to evaluate against by default.
+        ontology: tag ontology for ``~tag`` steps.
+        similarity_threshold: minimum ontology similarity for a tag to
+            join a ``~tag`` candidate list.
+        max_results: ranked-result truncation per query (applied after
+            the expression's own ``offset``/``limit`` window).
+        planner: default join-ordering mode — ``"selective"``
+            (cardinality-driven, may flip descendant joins backward)
+            or ``"naive"`` (legacy left-to-right). Either mode returns
+            bit-identical results.
     """
 
     def __init__(
@@ -82,23 +107,35 @@ class QueryEngine:
         ontology: Optional[TagOntology] = None,
         similarity_threshold: float = 0.3,
         max_results: int = 1000,
+        planner: str = "selective",
     ) -> None:
         self.index = index
         self.collection = index.collection
         self.ontology = ontology or default_ontology()
         self.similarity_threshold = similarity_threshold
         self.max_results = max_results
+        self.planner = planner
         self._tag_index: Dict[str, List[ElementId]] = self.collection.tags()
-        # per-(tag, similar) candidate memo; concurrent fills of the same
-        # key compute the same value, so the race is benign under the GIL
+        # per-(tag, similar) memos; concurrent fills of the same key
+        # compute the same value, so the races are benign under the GIL
         self._candidate_memo: Dict[StepKey, List[Tuple[ElementId, float]]] = {}
+        self._candidate_map_memo: Dict[StepKey, Dict[ElementId, float]] = {}
+        self._candidate_elems_memo: Dict[StepKey, List[ElementId]] = {}
+        self._parent_map_memo: Dict[StepKey, Dict[ElementId, List[ElementId]]] = {}
+        self._anchored_count_memo: Dict[StepKey, int] = {}
 
     def refresh(self) -> None:
-        """Rebuild the tag index (and drop the candidate memo) after
+        """Rebuild the tag index (and drop every derived memo) after
         collection maintenance."""
         self._tag_index = self.collection.tags()
         self._candidate_memo = {}
+        self._candidate_map_memo = {}
+        self._candidate_elems_memo = {}
+        self._parent_map_memo = {}
+        self._anchored_count_memo = {}
 
+    # ------------------------------------------------------------------
+    # derived candidate state (shared by planner and operators)
     # ------------------------------------------------------------------
     def _candidates(self, step: Step) -> List[Tuple[ElementId, float]]:
         """Elements matching a step's element test with their tag score.
@@ -106,7 +143,9 @@ class QueryEngine:
         Memoized per ``(tag, similar)``: a path like ``//a//b//a`` (or a
         workload of many queries sharing element tests) computes each
         candidate list once per :meth:`refresh` generation. Callers must
-        not mutate the returned list.
+        not mutate the returned list. ``[predicate]`` filters are *not*
+        applied here — they are per-element and evaluated lazily by the
+        operators, so the memo stays shareable across queries.
         """
         key: StepKey = (step.tag, step.similar)
         memo = self._candidate_memo.get(key)
@@ -127,6 +166,56 @@ class QueryEngine:
         self._candidate_memo[key] = matches
         return matches
 
+    def _candidate_elems(self, step: Step) -> List[ElementId]:
+        """Just the elements of :meth:`_candidates` (probe batch shape)."""
+        key: StepKey = (step.tag, step.similar)
+        memo = self._candidate_elems_memo.get(key)
+        if memo is None:
+            memo = [e for e, _ in self._candidates(step)]
+            self._candidate_elems_memo[key] = memo
+        return memo
+
+    def _candidate_map(self, step: Step) -> Dict[ElementId, float]:
+        """``element → tag score`` for a step (membership tests and
+        scoring; each element appears in at most one similar tag list,
+        so the mapping is unambiguous)."""
+        key: StepKey = (step.tag, step.similar)
+        memo = self._candidate_map_memo.get(key)
+        if memo is None:
+            memo = dict(self._candidates(step))
+            self._candidate_map_memo[key] = memo
+        return memo
+
+    def _parent_map(self, step: Step) -> Dict[ElementId, List[ElementId]]:
+        """``parent → candidate children`` for a child step/predicate."""
+        key: StepKey = (step.tag, step.similar)
+        memo = self._parent_map_memo.get(key)
+        if memo is None:
+            memo = {}
+            for e, _score in self._candidates(step):
+                parent = self.collection.elements[e].parent
+                if parent is not None:
+                    memo.setdefault(parent, []).append(e)
+            self._parent_map_memo[key] = memo
+        return memo
+
+    def _anchored_count(self, step: Step) -> int:
+        """How many of a step's candidates are document roots (the
+        planner's cardinality estimate for an anchored position 0)."""
+        key: StepKey = (step.tag, step.similar)
+        memo = self._anchored_count_memo.get(key)
+        if memo is None:
+            elements = self.collection.elements
+            memo = sum(
+                1 for e, _ in self._candidates(step)
+                if elements[e].parent is None
+            )
+            self._anchored_count_memo[key] = memo
+        return memo
+
+    # ------------------------------------------------------------------
+    # probes and scoring
+    # ------------------------------------------------------------------
     def _hop_score(self, index: HopiIndex, u: ElementId, v: ElementId) -> float:
         """Distance discount of a descendant hop (1.0 without distances)."""
         if not index.is_distance_aware:
@@ -150,92 +239,164 @@ class QueryEngine:
         flags = index.connected_many(source, cand_elems)
         return [i for i, ok in enumerate(flags) if ok]
 
+    def _score_binding(
+        self, index: HopiIndex, expr: PathExpression, bindings: Tuple[ElementId, ...]
+    ) -> float:
+        """The canonical score of one full binding.
+
+        Computed in left-to-right association — ``((t0·t1)·h1)·t2…`` —
+        exactly as the legacy evaluator accumulated it, so a result's
+        score is bit-identical no matter which join order produced the
+        binding. Predicates contribute no score.
+        """
+        steps = expr.steps
+        score = self._candidate_map(steps[0])[bindings[0]]
+        for i in range(1, len(steps)):
+            step = steps[i]
+            score = score * self._candidate_map(step)[bindings[i]]
+            if step.axis == "descendant":
+                score = score * self._hop_score(index, bindings[i - 1], bindings[i])
+        return score
+
+    # ------------------------------------------------------------------
+    # planning API
+    # ------------------------------------------------------------------
+    def _lower(self, path: Query) -> LogicalPlan:
+        """Normalise any accepted query form to its logical plan,
+        reusing cached lowerings where they exist."""
+        if isinstance(path, PreparedQuery):
+            return path.logical
+        if isinstance(path, LogicalPlan):
+            return path
+        return build_logical_plan(path)
+
+    def prepare(self, path: "str | PathExpression") -> PreparedQuery:
+        """Parse and lower once; re-plan cheaply per epoch via
+        :meth:`PreparedQuery.bind`."""
+        return PreparedQuery(path)
+
+    def plan(self, path: Query, *, order: Optional[str] = None) -> PhysicalPlan:
+        """The physical plan :meth:`evaluate` would run for ``path``."""
+        return plan_query(self._lower(path), self, order=order or self.planner)
+
+    def explain(self, path: Query, *, order: Optional[str] = None) -> str:
+        """Human-readable plan rendering (``repro query --explain``)."""
+        return self.plan(path, order=order).explain()
+
+    # ------------------------------------------------------------------
+    # evaluation API
+    # ------------------------------------------------------------------
+    def _pipeline(
+        self,
+        path: Query,
+        index: Optional[HopiIndex],
+        probe: Optional[Probe],
+        order: Optional[str],
+        *,
+        directional: bool = False,
+    ) -> Tuple[LogicalPlan, PhysicalPlan, ExecContext, HopiIndex]:
+        """The shared entry-point preamble: lower, plan, build the
+        execution context. Every public evaluation method goes through
+        this, so planning defaults can never silently diverge."""
+        index = index or self.index
+        logical = self._lower(path)
+        plan = plan_query(
+            logical, self, order=order or self.planner,
+            directional=directional,
+        )
+        return logical, plan, ExecContext(self, index, probe), index
+
     def evaluate(
         self,
-        path: "str | PathExpression",
+        path: Query,
         *,
         index: Optional[HopiIndex] = None,
         probe: Optional[Probe] = None,
+        order: Optional[str] = None,
     ) -> List[QueryResult]:
         """Evaluate a path expression, returning ranked results.
 
         Args:
-            path: a path string (parsed on the fly) or a pre-parsed
-                :class:`PathExpression`.
+            path: a path string (parsed on the fly), a pre-parsed
+                :class:`PathExpression`, or a :class:`PreparedQuery` /
+                :class:`~repro.query.plan.LogicalPlan` (cached lowering
+                reused).
             index: evaluate against this index instead of the engine's
                 own (must cover the same collection — e.g. another label
                 backend, or the published epoch of a service).
             probe: substitute descendant-step probe (see :data:`Probe`);
                 lets a serving tier cache/coalesce probes across
                 concurrent queries.
+            order: override the engine's planner mode for this call.
 
         Returns:
             Results sorted by descending score (ties broken by element
-            ids for determinism), truncated to ``max_results``.
+            ids for determinism), windowed by the expression's
+            ``offset``/``limit``, truncated to ``max_results``.
         """
-        index = index or self.index
-        expr = parse_path(path) if isinstance(path, str) else path
-        first, *rest = expr.steps
-
-        partial: List[Tuple[Tuple[ElementId, ...], float]] = []
-        for e, score in self._candidates(first):
-            if first.axis == "child":
-                # an absolute /step starts at document roots
-                if self.collection.elements[e].parent is not None:
-                    continue
-            partial.append(((e,), score))
-
-        for step in rest:
-            candidates = self._candidates(step)
-            grown: List[Tuple[Tuple[ElementId, ...], float]] = []
-            if step.axis == "child":
-                by_parent: Dict[ElementId, List[Tuple[ElementId, float]]] = {}
-                for e, score in candidates:
-                    parent = self.collection.elements[e].parent
-                    if parent is not None:
-                        by_parent.setdefault(parent, []).append((e, score))
-                for bindings, score in partial:
-                    for e, tag_score in by_parent.get(bindings[-1], ()):
-                        grown.append((bindings + (e,), score * tag_score))
-            else:
-                # one batched reachability probe per distinct source
-                # element; bindings sharing a source reuse the answer.
-                # Only the reachable candidate *indices* are cached, so
-                # memory stays bounded by true positives, not by
-                # |sources| x |candidates|.
-                step_key: StepKey = (step.tag, step.similar)
-                cand_elems = [e for e, _ in candidates]
-                reach_cache: Dict[ElementId, List[int]] = {}
-                for bindings, score in partial:
-                    prev = bindings[-1]
-                    reach = reach_cache.get(prev)
-                    if reach is None:
-                        reach = self._reachable(
-                            index, probe, prev, step_key, cand_elems
-                        )
-                        reach_cache[prev] = reach
-                    for i in reach:
-                        e, tag_score = candidates[i]
-                        if e == prev:
-                            continue
-                        hop = self._hop_score(index, prev, e)
-                        grown.append(
-                            (bindings + (e,), score * tag_score * hop)
-                        )
-            partial = grown
-            if not partial:
-                break
-
-        results = [QueryResult(b, s) for b, s in partial]
+        logical, plan, ctx, index = self._pipeline(path, index, probe, order)
+        expr = logical.expr
+        results = [
+            QueryResult(b, self._score_binding(index, expr, b))
+            for b in run_bindings(plan, ctx)
+        ]
         results.sort(key=lambda r: (-r.score, r.bindings))
+        window = logical.window
+        if window is not None:
+            stop = None if window.limit is None else window.offset + window.limit
+            results = results[window.offset:stop]
         return results[: self.max_results]
 
-    def count(
+    def stream(
         self,
-        path: "str | PathExpression",
+        path: Query,
         *,
         index: Optional[HopiIndex] = None,
         probe: Optional[Probe] = None,
+        order: Optional[str] = None,
+    ) -> Iterator[QueryResult]:
+        """Yield matches lazily, **unranked** (pipeline order).
+
+        The expression's ``limit`` caps the stream — the pipeline stops
+        as soon as it is filled, the early-termination path for "give
+        me any N matches". ``offset`` is **ignored** here: windows are
+        defined over the *ranked* list (see :mod:`repro.query.pathexpr`)
+        and the pipeline order is planner-dependent, so skipping the
+        first N streamed matches would discard an arbitrary subset that
+        corresponds to no meaningful page — use :meth:`evaluate` for
+        ranked pagination.
+        """
+        logical, plan, ctx, index = self._pipeline(path, index, probe, order)
+        expr = logical.expr
+        bindings = run_bindings(plan, ctx)
+        window = logical.window
+        stop = None if window is None else window.limit
+        for b in itertools.islice(bindings, stop):
+            yield QueryResult(b, self._score_binding(index, expr, b))
+
+    def exists(
+        self,
+        path: Query,
+        *,
+        index: Optional[HopiIndex] = None,
+        probe: Optional[Probe] = None,
+        order: Optional[str] = None,
+    ) -> bool:
+        """True iff the expression has at least one match.
+
+        Consumes exactly one binding from the pipeline (the window is
+        ignored — existence is a property of the match set).
+        """
+        _, plan, ctx, _ = self._pipeline(path, index, probe, order)
+        return next(iter(run_bindings(plan, ctx)), None) is not None
+
+    def count(
+        self,
+        path: Query,
+        *,
+        index: Optional[HopiIndex] = None,
+        probe: Optional[Probe] = None,
+        order: Optional[str] = None,
     ) -> int:
         """The total number of matches, without ranking.
 
@@ -243,40 +404,13 @@ class QueryEngine:
         the ``max_results`` truncation, and never materialises binding
         tuples: the number of full bindings ending at an element depends
         only on that element, so partial results aggregate to
-        ``element -> count`` — one integer per distinct tail instead of
-        one tuple per match.
+        ``element -> count`` — one integer per distinct frontier
+        element. The planner restricts counting plans to a pure
+        direction (forward or backward, whichever end is more
+        selective); the expression's ``offset``/``limit`` window is
+        ignored — the count is a property of the match set.
         """
-        index = index or self.index
-        expr = parse_path(path) if isinstance(path, str) else path
-        first, *rest = expr.steps
-
-        tails: Dict[ElementId, int] = {}
-        for e, _ in self._candidates(first):
-            if first.axis == "child":
-                if self.collection.elements[e].parent is not None:
-                    continue
-            tails[e] = tails.get(e, 0) + 1
-
-        for step in rest:
-            candidates = self._candidates(step)
-            grown: Dict[ElementId, int] = {}
-            if step.axis == "child":
-                for e, _ in candidates:
-                    parent = self.collection.elements[e].parent
-                    if parent in tails:
-                        grown[e] = grown.get(e, 0) + tails[parent]
-            else:
-                step_key = (step.tag, step.similar)
-                cand_elems = [e for e, _ in candidates]
-                for prev, multiplicity in tails.items():
-                    for i in self._reachable(
-                        index, probe, prev, step_key, cand_elems
-                    ):
-                        e = cand_elems[i]
-                        if e == prev:
-                            continue
-                        grown[e] = grown.get(e, 0) + multiplicity
-            tails = grown
-            if not tails:
-                break
-        return sum(tails.values())
+        _, plan, ctx, _ = self._pipeline(
+            path, index, probe, order, directional=True
+        )
+        return run_count(plan, ctx)

@@ -1,0 +1,301 @@
+"""Selectivity-driven physical planning for path queries.
+
+The legacy evaluator hard-coded one left-to-right order, so a query
+with a highly selective *tail* step (``//*//rare_tag``) materialised
+every intermediate binding of the unselective head before the tail
+pruned them. HOPI's connection tests are symmetric probes (the 2-hop
+cover answers ``u →* v`` from either endpoint: ``descendants(u)`` or
+``ancestors(v)``), which makes step reordering sound — so the planner
+estimates each step's candidate cardinality from the engine's tag
+index and evaluates outward from the most selective step, flipping
+descendant joins to **backward probes over the cover's ``ancestors``
+side** when the selective step sits to their right.
+
+Join orders are restricted to *contiguous* prefixes growing around the
+start step (a zig-zag order): every join still connects a bound
+position to an adjacent unbound one, so no cross-product is ever
+formed and any start yields the same result set (pinned by the
+planner-soundness property tests).
+
+:class:`PreparedQuery` is the parse-once handle: the AST and canonical
+plan key are computed once, while the physical plan is re-derived per
+engine binding (cardinalities move with every epoch's tag index — the
+service layer binds one prepared query per published epoch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.query.pathexpr import PathExpression, Predicate, parse_path
+from repro.query.plan import Limit, LogicalPlan, build_logical_plan
+
+#: Planner modes: ``"selective"`` starts at the lowest-cardinality step
+#: and grows greedily; ``"naive"`` reproduces the legacy left-to-right
+#: order (kept for differential tests and the BENCH_query planner
+#: comparison).
+PLANNER_MODES = ("selective", "naive")
+
+
+@dataclass(frozen=True)
+class PhysicalOp:
+    """One pipeline stage of a physical plan.
+
+    Attributes:
+        op: ``"scan"``, ``"child"`` or ``"descendant"``.
+        position: the step index this stage binds.
+        direction: ``"seed"`` for the scan; ``"forward"`` when the
+            predecessor is already bound (probe ``descendants`` /
+            follow parent pointers down); ``"backward"`` when the
+            successor is bound (probe the ``ancestors`` side / follow
+            the parent pointer up).
+    """
+
+    op: str
+    position: int
+    direction: str
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """An executable join order over a :class:`LogicalPlan`.
+
+    Attributes:
+        logical: the logical plan this orders.
+        ops: pipeline stages, one per step, scan first.
+        estimates: per-position candidate-cardinality estimates the
+            order was chosen from.
+        mode: the planner mode that produced the order.
+    """
+
+    logical: LogicalPlan
+    ops: Tuple[PhysicalOp, ...]
+    estimates: Tuple[int, ...]
+    mode: str
+
+    @property
+    def expr(self) -> PathExpression:
+        """The planned expression."""
+        return self.logical.expr
+
+    @property
+    def key(self) -> str:
+        """The canonical plan key (shared with the logical plan)."""
+        return self.logical.key
+
+    def filters_at(self, position: int) -> Tuple[Predicate, ...]:
+        """The logical :class:`~repro.query.plan.Filter` predicates
+        guarding ``position`` (what the operators evaluate inline)."""
+        return self.logical.filters_at(position)
+
+    @property
+    def window(self) -> Optional[Limit]:
+        """The logical :class:`~repro.query.plan.Limit` node, if any."""
+        return self.logical.window
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-safe description (the ``/v1/explain`` payload)."""
+        expr = self.expr
+        return {
+            "path": str(expr),
+            "mode": self.mode,
+            "steps": [
+                {
+                    "position": i,
+                    "step": str(step),
+                    "axis": step.axis,
+                    "predicates": len(step.predicates),
+                    "estimate": self.estimates[i],
+                }
+                for i, step in enumerate(expr.steps)
+            ],
+            "order": [
+                {"op": op.op, "position": op.position,
+                 "direction": op.direction}
+                for op in self.ops
+            ],
+            "limit": expr.limit,
+            "offset": expr.offset,
+        }
+
+    def explain(self) -> str:
+        """A human-readable rendering (``repro query --explain``)."""
+        expr = self.expr
+        lines = [f"query: {expr}", f"mode:  {self.mode}", "order:"]
+        arrows = {"seed": "·", "forward": "→", "backward": "←"}
+        for rank, op in enumerate(self.ops, 1):
+            step = expr.steps[op.position]
+            detail = {
+                "scan": "tag-index scan",
+                "child": f"child join ({'parent pointers' if op.direction == 'backward' else 'children of bound parent'})",
+                "descendant": (
+                    "descendant join (backward probe: ancestors side)"
+                    if op.direction == "backward"
+                    else "descendant join (forward probe: descendants side)"
+                ),
+            }[op.op]
+            predicates = (
+                f", {len(step.predicates)} predicate(s)"
+                if step.predicates
+                else ""
+            )
+            lines.append(
+                f"  {rank}. {arrows[op.direction]} step {op.position} "
+                f"{step}  — {detail}, ~{self.estimates[op.position]} "
+                f"candidates{predicates}"
+            )
+        window = []
+        if expr.offset:
+            window.append(f"offset {expr.offset}")
+        if expr.limit is not None:
+            window.append(f"limit {expr.limit}")
+        lines.append(
+            "rank:  score desc, bindings asc"
+            + (f"; window: {' '.join(window)}" if window else "")
+        )
+        return "\n".join(lines)
+
+
+def estimate_cardinalities(expr: PathExpression, engine) -> Tuple[int, ...]:
+    """Per-step candidate cardinalities from the engine's tag index.
+
+    Position 0 of an absolute path counts only document roots (the
+    anchor filter is applied before any join fans out).
+    """
+    estimates: List[int] = []
+    for i, step in enumerate(expr.steps):
+        if i == 0 and step.axis == "child":
+            estimates.append(engine._anchored_count(step))
+        else:
+            estimates.append(len(engine._candidates(step)))
+    return tuple(estimates)
+
+
+def order_steps(
+    expr: PathExpression,
+    estimates: Tuple[int, ...],
+    *,
+    start: int,
+) -> Tuple[PhysicalOp, ...]:
+    """The greedy zig-zag order seeded at ``start``.
+
+    Grows the bound range one adjacent position at a time, always
+    taking the side with the smaller candidate estimate (ties extend
+    forward, matching the legacy bias).
+    """
+    n = len(expr.steps)
+    if not 0 <= start < n:
+        raise ValueError(f"start must be a step position in [0, {n}), got {start}")
+    ops = [PhysicalOp("scan", start, "seed")]
+    lo = hi = start
+    while lo > 0 or hi < n - 1:
+        left = estimates[lo - 1] if lo > 0 else None
+        right = estimates[hi + 1] if hi < n - 1 else None
+        if right is not None and (left is None or right <= left):
+            hi += 1
+            axis = expr.steps[hi].axis
+            ops.append(PhysicalOp(
+                "child" if axis == "child" else "descendant", hi, "forward"
+            ))
+        else:
+            # the edge between lo-1 and lo belongs to steps[lo]
+            axis = expr.steps[lo].axis
+            lo -= 1
+            ops.append(PhysicalOp(
+                "child" if axis == "child" else "descendant", lo, "backward"
+            ))
+    return tuple(ops)
+
+
+def plan_query(
+    path: "str | PathExpression | LogicalPlan",
+    engine,
+    *,
+    order: str = "selective",
+    start: Optional[int] = None,
+    directional: bool = False,
+) -> PhysicalPlan:
+    """Choose a physical join order for ``path`` against ``engine``.
+
+    Args:
+        path: the query — a string, a parsed expression, or an
+            already-lowered :class:`LogicalPlan` (what
+            :class:`PreparedQuery` passes, so the hot path never
+            re-lowers).
+        engine: the :class:`~repro.query.engine.QueryEngine` whose tag
+            index supplies cardinality estimates (and whose candidate
+            memos the operators will read).
+        order: ``"selective"`` (default) or ``"naive"``
+            (legacy left-to-right; see :data:`PLANNER_MODES`).
+        start: force the seed position (testing hook; implies the
+            greedy zig-zag growth around it).
+        directional: restrict the seed to an endpoint (position 0 or
+            the last step), so execution runs purely forward or purely
+            backward — required by the aggregated counting path, whose
+            per-element multiplicity map only exists at a chain's open
+            end.
+
+    Returns:
+        The chosen :class:`PhysicalPlan`.
+    """
+    logical = path if isinstance(path, LogicalPlan) else build_logical_plan(path)
+    expr = logical.expr
+    estimates = estimate_cardinalities(expr, engine)
+    n = len(expr.steps)
+    mode = order
+    if start is not None:
+        mode = f"forced[{start}]"
+        seed = start
+    elif order == "naive":
+        seed = 0
+    elif order == "selective":
+        if directional:
+            seed = 0 if estimates[0] <= estimates[n - 1] else n - 1
+        else:
+            seed = min(range(n), key=lambda i: (estimates[i], i))
+    else:
+        raise ValueError(
+            f"unknown planner mode {order!r}; one of {PLANNER_MODES}"
+        )
+    if directional and seed not in (0, n - 1):
+        raise ValueError(
+            f"directional plans must seed at an endpoint, got {seed}"
+        )
+    return PhysicalPlan(logical, order_steps(expr, estimates, start=seed),
+                        estimates, mode)
+
+
+class PreparedQuery:
+    """A query parsed and lowered once, plannable per engine/epoch.
+
+    The AST and the canonical plan key are immutable; the *physical*
+    plan depends on an engine's tag-index cardinalities, so it is
+    derived per :meth:`bind` — the service layer prepares once per
+    distinct query text and binds per published epoch.
+
+    Attributes:
+        expr: the parsed expression.
+        logical: the lowered logical plan.
+        key: the canonical plan key (cache key for plans and results).
+    """
+
+    def __init__(self, path: "str | PathExpression") -> None:
+        self.expr = parse_path(path) if isinstance(path, str) else path
+        self.logical: LogicalPlan = build_logical_plan(self.expr)
+        self.key: str = self.logical.key
+
+    def bind(
+        self, engine, *, order: Optional[str] = None,
+        directional: bool = False,
+    ) -> PhysicalPlan:
+        """Plan against one engine's current cardinalities (the cached
+        logical plan is reused — no re-parse, no re-lowering)."""
+        return plan_query(
+            self.logical, engine,
+            order=order or getattr(engine, "planner", "selective"),
+            directional=directional,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PreparedQuery({self.key!r})"

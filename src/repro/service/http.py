@@ -3,22 +3,48 @@
 ``ThreadingHTTPServer`` gives one thread per connection; every handler
 thread goes through the service's lock-free read path, so concurrent
 clients share the caches and the published epoch exactly like in-process
-readers. Endpoints (all JSON):
+readers.
 
-==========================  =================================================
-``GET /query``              ``path`` (required), ``limit`` — ranked matches
-``GET /count``              ``path`` — unranked total match count
-``GET /connected``          ``source``, ``target`` — reachability test
-``GET /distance``           ``source``, ``target`` — shortest link distance
-``POST /update``            body ``{"ops": [...]}`` — atomic maintenance
-                            batch + hot swap (see ``QueryService.update``)
-``GET /stats``              service counters, cache stats, epoch
-==========================  =================================================
+The API is versioned under ``/v1`` (all JSON):
+
+=============================  ============================================
+``GET /v1/query``              ``path`` (required), ``limit`` (≥ 1),
+                               ``offset`` (≥ 0) — ranked matches with
+                               pagination metadata (``total``,
+                               ``next_offset``, and ``truncated`` when
+                               the ranked list hit the service's
+                               ``max_results`` cap, in which case
+                               ``total`` is a lower bound — use
+                               ``/v1/count`` for the exact number)
+``GET /v1/count``              ``path`` — unranked total match count
+``GET /v1/explain``            ``path`` — the physical plan that would
+                               run (estimates, join order/directions)
+``GET /v1/connected``          ``source``, ``target`` — reachability test
+``GET /v1/distance``           ``source``, ``target`` — shortest link
+                               distance
+``POST /v1/update``            body ``{"ops": [...]}`` — atomic
+                               maintenance batch + hot swap (see
+                               ``QueryService.update``)
+``GET /v1/stats``              service counters, cache stats, epoch
+=============================  ============================================
+
+``/v1`` errors are structured objects::
+
+    {"error": {"code": "bad_request" | "not_found" | "internal",
+               "message": "..."}}
+
+The original un-versioned routes (``/query`` … ``/stats``; everything
+except ``/explain``) keep working as **deprecated aliases**: they
+answer with the legacy flat shapes plus a ``"deprecated": true`` field
+(including the legacy ``limit=0`` → empty 200 contract — only ``/v1``
+rejects a zero limit), and every hit is counted in the service's
+``legacy_hits`` stats so operators can watch migrations drain.
 
 Every response carries the ``epoch`` that answered it, so clients can
 observe hot swaps. To add an endpoint: write a ``_handle_<name>``
 method on :class:`ServiceRequestHandler` returning ``(status, payload)``
-and it is routed automatically by path segment.
+and list it in ``V1_ROUTES`` (and ``LEGACY_ROUTES`` if it should also
+answer un-versioned).
 """
 
 from __future__ import annotations
@@ -33,14 +59,24 @@ from repro.service.service import QueryService, UpdateError
 
 JSON = "application/json"
 
+#: endpoints served under ``/v1/<name>``
+V1_ROUTES = frozenset(
+    {"query", "count", "explain", "connected", "distance", "update", "stats"}
+)
+#: endpoints also served un-versioned, as deprecated aliases
+LEGACY_ROUTES = frozenset(
+    {"query", "count", "connected", "distance", "update", "stats"}
+)
+
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
     """JSON-over-HTTP front end for one :class:`QueryService`.
 
-    Routing is by path segment (``/query`` → ``_handle_query`` etc.);
-    ``_dispatch`` owns JSON encoding and error mapping (domain errors →
-    400, unknown routes → 404). See ARCHITECTURE.md for how to add an
-    endpoint.
+    Routing is by path segment (``/v1/query`` and the deprecated alias
+    ``/query`` → ``_handle_query`` etc.); ``_dispatch`` owns JSON
+    encoding and error mapping (domain errors → 400, unknown routes →
+    404 — structured error objects on ``/v1``, legacy flat strings on
+    aliases). See ARCHITECTURE.md for how to add an endpoint.
     """
 
     server_version = "repro-hopi"
@@ -65,32 +101,74 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_error(self, status: int, code: str, message: str,
+                    *, v1: bool) -> None:
+        """Errors: structured ``{"error": {code, message}}`` on /v1,
+        the legacy flat ``{"error": message}`` on deprecated aliases."""
+        if v1:
+            self._send_json(status, {"error": {"code": code,
+                                               "message": message}})
+        else:
+            self._send_json(status, {"error": message, "deprecated": True})
+
     def _param(self, params: Dict[str, list], name: str) -> str:
         values = params.get(name)
         if not values:
             raise UpdateError(f"missing query parameter {name!r}")
         return values[0]
 
-    def _int_param(self, params: Dict[str, list], name: str) -> int:
+    def _int_param(
+        self,
+        params: Dict[str, list],
+        name: str,
+        *,
+        minimum: Optional[int] = None,
+    ) -> int:
+        """A validated integer query parameter.
+
+        Non-numeric values and values below ``minimum`` are rejected as
+        structured 400s — never 500s (negative/zero ``limit`` used to
+        slip through as server errors).
+        """
         raw = self._param(params, name)
         try:
-            return int(raw)
+            value = int(raw)
         except ValueError:
             raise UpdateError(f"parameter {name!r} must be an integer: {raw!r}")
+        if minimum is not None and value < minimum:
+            raise UpdateError(
+                f"parameter {name!r} must be >= {minimum}, got {value}"
+            )
+        return value
 
-    def _dispatch(self, route: str, params: Dict[str, list],
+    def _route(self, path: str) -> Tuple[Optional[str], bool]:
+        """Resolve a URL path to ``(endpoint name, is_v1)``."""
+        if path.startswith("/v1/"):
+            name = path[len("/v1/"):]
+            return (name if name in V1_ROUTES else None), True
+        name = path.lstrip("/")
+        return (name if name in LEGACY_ROUTES else None), False
+
+    def _dispatch(self, url_path: str, params: Dict[str, list],
                   body: Optional[Dict[str, Any]]) -> None:
-        handler = getattr(self, f"_handle_{route.lstrip('/')}", None)
-        if handler is None:
-            self._send_json(404, {"error": f"unknown endpoint {route!r}"})
+        name, v1 = self._route(url_path)
+        if name is None:
+            self._send_error(
+                404, "not_found", f"unknown endpoint {url_path!r}", v1=v1
+            )
             return
+        handler = getattr(self, f"_handle_{name}")
+        if not v1:
+            self.service.note_legacy_hit(name)
         try:
-            status, payload = handler(params, body)
+            status, payload = handler(params, body, v1)
         except (UpdateError, PathSyntaxError, KeyError, TypeError, ValueError) as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_error(400, "bad_request", str(exc), v1=v1)
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            self._send_error(500, "internal", f"internal error: {exc}", v1=v1)
         else:
+            if not v1:
+                payload["deprecated"] = True
             self._send_json(status, payload)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
@@ -103,32 +181,41 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
         Malformed requests — an unparsable ``Content-Length``, a body
         that is not valid JSON — are answered with a structured 400
-        ``{"error": ...}`` before any handler runs, so a bad ``/update``
-        batch can never touch the index or advance the epoch.
+        before any handler runs, so a bad ``/update`` batch can never
+        touch the index or advance the epoch.
         """
         url = urlparse(self.path)
+        v1 = url.path.startswith("/v1/")
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._send_json(400, {"error": "invalid Content-Length header"})
+            self._send_error(
+                400, "bad_request", "invalid Content-Length header", v1=v1
+            )
             return
         raw = self.rfile.read(length) if length > 0 else b""
         try:
             body = json.loads(raw.decode("utf-8")) if raw else {}
         except ValueError as exc:
-            self._send_json(
-                400, {"error": f"request body is not valid JSON: {exc}"}
+            self._send_error(
+                400, "bad_request",
+                f"request body is not valid JSON: {exc}", v1=v1,
             )
             return
         self._dispatch(url.path, parse_qs(url.query), body)
 
     # -- endpoints -------------------------------------------------------
-    def _handle_query(self, params, body) -> Tuple[int, Dict[str, Any]]:
+    def _handle_query(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
         path = self._param(params, "path")
         limit = None
         if "limit" in params:
-            limit = self._int_param(params, "limit")
-        response = self.service.query(path, limit=limit)
+            # /v1 requires a useful limit; the deprecated alias keeps
+            # the legacy contract where limit=0 returns an empty page
+            limit = self._int_param(params, "limit", minimum=1 if v1 else 0)
+        offset = 0
+        if "offset" in params:
+            offset = self._int_param(params, "offset", minimum=0)
+        response = self.service.query(path, limit=limit, offset=offset)
         collection = response.collection  # same epoch as the results
         results = []
         for r in response.results:
@@ -143,7 +230,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     "bindings": list(r.bindings),
                 }
             )
-        return 200, {
+        payload: Dict[str, Any] = {
             "epoch": response.epoch,
             "path": response.path,
             "cached": response.cached,
@@ -151,27 +238,42 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "count": len(results),
             "results": results,
         }
+        if v1:
+            consumed = offset + len(results)
+            payload.update(
+                total=response.total,
+                limit=limit,
+                offset=offset,
+                next_offset=consumed if consumed < response.total else None,
+                truncated=response.truncated,
+            )
+        return 200, payload
 
-    def _handle_count(self, params, body) -> Tuple[int, Dict[str, Any]]:
+    def _handle_count(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
         path = self._param(params, "path")
         epoch, n = self.service.count(path)
         return 200, {"epoch": epoch, "path": path, "count": n}
 
-    def _handle_connected(self, params, body) -> Tuple[int, Dict[str, Any]]:
+    def _handle_explain(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        path = self._param(params, "path")
+        epoch, plan = self.service.explain(path)
+        return 200, {"epoch": epoch, "plan": plan}
+
+    def _handle_connected(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
         u = self._int_param(params, "source")
         v = self._int_param(params, "target")
         epoch, connected = self.service.connected(u, v)
         return 200, {"epoch": epoch, "source": u, "target": v,
                      "connected": connected}
 
-    def _handle_distance(self, params, body) -> Tuple[int, Dict[str, Any]]:
+    def _handle_distance(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
         u = self._int_param(params, "source")
         v = self._int_param(params, "target")
         epoch, dist = self.service.distance(u, v)
         return 200, {"epoch": epoch, "source": u, "target": v,
                      "distance": dist}
 
-    def _handle_update(self, params, body) -> Tuple[int, Dict[str, Any]]:
+    def _handle_update(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
         if body is None:
             raise UpdateError("/update requires a POST body")
         if isinstance(body, list):
@@ -188,7 +290,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         report = self.service.update(ops)
         return 200, report
 
-    def _handle_stats(self, params, body) -> Tuple[int, Dict[str, Any]]:
+    def _handle_stats(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
         return 200, self.service.stats()
 
 

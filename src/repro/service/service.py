@@ -5,10 +5,14 @@ The read path is lock-free: a request pins the current
 and answers entirely from it. Three layers keep repeated work off the
 index:
 
-1. a **plan cache** (path string → parsed
-   :class:`~repro.query.pathexpr.PathExpression`; epoch-independent);
-2. a **result cache** keyed by ``(path, epoch)`` with single-flight
-   coalescing — concurrent identical cold queries evaluate once;
+1. a **plan cache** (query text → parsed-and-lowered
+   :class:`~repro.query.planner.PreparedQuery`; epoch-independent —
+   the physical join order is re-derived per epoch, since cardinality
+   estimates move with the tag index);
+2. a **result cache** keyed by ``(canonical plan key, epoch)`` with
+   single-flight coalescing — concurrent identical cold queries
+   evaluate once, and every spelling of a query (whitespace, clause
+   order) shares one entry;
 3. a per-epoch **probe cache** — identical descendant-step probes
    (``source × candidate-list``) across *different* queries coalesce
    and are answered once per epoch.
@@ -31,7 +35,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.hopi import HopiIndex
 from repro.query.engine import Probe, QueryEngine, QueryResult, StepKey
 from repro.query.ontology import TagOntology
-from repro.query.pathexpr import PathExpression, parse_path
+from repro.query.pathexpr import PathExpression
+from repro.query.planner import PreparedQuery
 from repro.service.cache import LRUCache
 from repro.service.coalesce import CoalescingCache
 from repro.service.epoch import EpochHolder, EpochState
@@ -49,14 +54,23 @@ class QueryResponse:
 
     Attributes:
         epoch: the index generation the whole answer came from.
-        path: the normalised path expression.
-        results: ranked matches (shared cached list — do not mutate).
+        path: the canonical (normalised) path expression — the plan key.
+        results: ranked matches, windowed by the request's
+            ``offset``/``limit`` (shared cached list slice — do not
+            mutate).
         source: ``"hit"`` / ``"computed"`` / ``"coalesced"`` — how the
             result cache served this request.
         seconds: service-side latency of this request.
         collection: the *same epoch's* collection — render result
             elements from this, never from ``service.index`` (which may
             have hot-swapped since the query pinned its epoch).
+        total: size of the full ranked result list before the request
+            window was applied (pagination: ``offset + len(results) <
+            total`` means more pages exist).
+        offset: the request offset that produced ``results``.
+        truncated: True when the ranked list hit the engine's
+            ``max_results`` cap, so ``total`` is a lower bound — use
+            :meth:`QueryService.count` for the exact match count.
     """
 
     epoch: int
@@ -65,6 +79,9 @@ class QueryResponse:
     source: str
     seconds: float
     collection: Any = None
+    total: int = 0
+    offset: int = 0
+    truncated: bool = False
 
     @property
     def cached(self) -> bool:
@@ -171,57 +188,92 @@ class QueryService:
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
-    def _plan(self, path: Union[str, PathExpression]) -> PathExpression:
+    def _prepare(self, path: Union[str, PathExpression]) -> PreparedQuery:
+        """Parse + lower once per distinct query text (plan cache)."""
         if isinstance(path, PathExpression):
-            return path
-        return self._plans.get_or_create(path, lambda: parse_path(path))
+            return PreparedQuery(path)
+        return self._plans.get_or_create(path, lambda: PreparedQuery(path))
 
     def query(
-        self, path: Union[str, PathExpression], *, limit: Optional[int] = None
+        self,
+        path: Union[str, PathExpression],
+        *,
+        limit: Optional[int] = None,
+        offset: int = 0,
     ) -> QueryResponse:
         """Evaluate ``path`` against the current epoch, cached.
 
-        ``limit`` truncates the returned (already ranked) results; the
-        cache always holds the full ``max_results`` list so requests
-        with different limits share one entry.
+        ``offset``/``limit`` window the returned (already ranked)
+        results; the cache always holds the full ``max_results`` list
+        so requests with different windows share one entry, and
+        ``QueryResponse.total`` reports the pre-window size for
+        pagination.
         """
         if limit is not None and limit < 0:
             raise ValueError(f"limit must be non-negative, got {limit}")
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
         t0 = time.perf_counter()
         state = self._holder.current  # pin one epoch for the request
-        expr = self._plan(path)
-        key = ("query", str(expr), state.epoch)
+        prepared = self._prepare(path)
+        key = ("query", prepared.key, state.epoch)
         results, source = self._results.get_or_compute(
             key,
             lambda: state.engine.evaluate(
-                expr, index=state.index, probe=self._probe_for(state)
+                prepared, index=state.index, probe=self._probe_for(state)
             ),
         )
+        total = len(results)
+        if offset:
+            results = results[offset:]
         if limit is not None:
             results = results[:limit]
         self._count("query")
         return QueryResponse(
             epoch=state.epoch,
-            path=str(expr),
+            path=prepared.key,
             results=results,
             source=source,
             seconds=time.perf_counter() - t0,
             collection=state.index.collection,
+            total=total,
+            offset=offset,
+            truncated=total >= self._max_results,
         )
 
     def count(self, path: Union[str, PathExpression]) -> Tuple[int, int]:
         """``(epoch, total match count)`` — unranked, untruncated."""
         state = self._holder.current
-        expr = self._plan(path)
-        key = ("count", str(expr), state.epoch)
+        prepared = self._prepare(path)
+        key = ("count", prepared.key, state.epoch)
         n, _ = self._results.get_or_compute(
             key,
             lambda: state.engine.count(
-                expr, index=state.index, probe=self._probe_for(state)
+                prepared, index=state.index, probe=self._probe_for(state)
             ),
         )
         self._count("count")
         return state.epoch, n
+
+    def explain(
+        self, path: Union[str, PathExpression]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``(epoch, plan description)`` for the ``/v1/explain``
+        endpoint: the physical plan the current epoch's engine would
+        run, as a JSON-safe dict plus its human-readable rendering."""
+        state = self._holder.current
+        prepared = self._prepare(path)
+        plan = prepared.bind(state.engine)
+        payload = plan.describe()
+        payload["text"] = plan.explain()
+        payload["backend"] = state.index.backend
+        self._count("explain")
+        return state.epoch, payload
+
+    def note_legacy_hit(self, route: str) -> None:
+        """Record a request to a deprecated un-versioned route (the
+        ``legacy_hits`` counters in :meth:`stats`)."""
+        self._count(f"legacy:{route}")
 
     def connected(self, u: ElementId, v: ElementId) -> Tuple[int, bool]:
         """``(epoch, u ->* v)``."""
@@ -438,6 +490,9 @@ class QueryService:
             "links": state.index.collection.num_links,
             "cover_entries": state.index.cover.size,
             "requests": counters,
+            "legacy_hits": sum(
+                n for name, n in counters.items() if name.startswith("legacy:")
+            ),
             "result_cache": self._results.stats(),
             "plan_cache": self._plans.stats(),
             "probe_cache": state.probes.stats(),

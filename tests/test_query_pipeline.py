@@ -1,0 +1,455 @@
+"""The query-stack redesign's safety net.
+
+Three families of checks pin the AST → logical plan → physical
+operators pipeline to the pre-redesign evaluator:
+
+* a **differential suite** against a frozen copy of the legacy
+  left-to-right evaluator (bit-identical bindings, scores *and*
+  ordering, on both label backends, with and without probe
+  substitution);
+* **planner soundness** — every legal zig-zag join order (each possible
+  seed position) returns the same result set and scores;
+* behaviour of the new surface: predicates, expression windows,
+  ``exists``/``stream`` early termination, ``explain`` and
+  :class:`PreparedQuery`.
+"""
+
+import pytest
+
+from repro.core import HopiIndex
+from repro.query import (
+    PreparedQuery,
+    QueryEngine,
+    QueryResult,
+    build_logical_plan,
+    parse_path,
+    plan_key,
+    plan_query,
+)
+from repro.query.exec import ExecContext, run_bindings, run_count
+from repro.query.plan import (
+    ChildJoin,
+    DescendantJoin,
+    Filter,
+    Limit,
+    Rank,
+    Scan,
+)
+from repro.xmlmodel import Collection, dblp_like
+
+
+# ---------------------------------------------------------------------------
+# the frozen legacy evaluator (verbatim semantics of the pre-redesign
+# QueryEngine.evaluate/count; supports the legacy dialect only)
+# ---------------------------------------------------------------------------
+
+
+def reference_evaluate(engine, path, *, index=None, probe=None):
+    """The legacy left-to-right evaluator, kept as the oracle."""
+    index = index or engine.index
+    expr = parse_path(path) if isinstance(path, str) else path
+    first, *rest = expr.steps
+
+    partial = []
+    for e, score in engine._candidates(first):
+        if first.axis == "child":
+            if engine.collection.elements[e].parent is not None:
+                continue
+        partial.append(((e,), score))
+
+    for step in rest:
+        candidates = engine._candidates(step)
+        grown = []
+        if step.axis == "child":
+            by_parent = {}
+            for e, score in candidates:
+                parent = engine.collection.elements[e].parent
+                if parent is not None:
+                    by_parent.setdefault(parent, []).append((e, score))
+            for bindings, score in partial:
+                for e, tag_score in by_parent.get(bindings[-1], ()):
+                    grown.append((bindings + (e,), score * tag_score))
+        else:
+            step_key = (step.tag, step.similar)
+            cand_elems = [e for e, _ in candidates]
+            reach_cache = {}
+            for bindings, score in partial:
+                prev = bindings[-1]
+                reach = reach_cache.get(prev)
+                if reach is None:
+                    reach = engine._reachable(
+                        index, probe, prev, step_key, cand_elems
+                    )
+                    reach_cache[prev] = reach
+                for i in reach:
+                    e, tag_score = candidates[i]
+                    if e == prev:
+                        continue
+                    hop = engine._hop_score(index, prev, e)
+                    grown.append((bindings + (e,), score * tag_score * hop))
+        partial = grown
+        if not partial:
+            break
+
+    results = [QueryResult(b, s) for b, s in partial]
+    results.sort(key=lambda r: (-r.score, r.bindings))
+    return results[: engine.max_results]
+
+
+def reference_count(engine, path, *, index=None, probe=None):
+    """The legacy aggregated counting path, kept as the oracle."""
+    index = index or engine.index
+    expr = parse_path(path) if isinstance(path, str) else path
+    first, *rest = expr.steps
+
+    tails = {}
+    for e, _ in engine._candidates(first):
+        if first.axis == "child":
+            if engine.collection.elements[e].parent is not None:
+                continue
+        tails[e] = tails.get(e, 0) + 1
+
+    for step in rest:
+        candidates = engine._candidates(step)
+        grown = {}
+        if step.axis == "child":
+            for e, _ in candidates:
+                parent = engine.collection.elements[e].parent
+                if parent in tails:
+                    grown[e] = grown.get(e, 0) + tails[parent]
+        else:
+            step_key = (step.tag, step.similar)
+            cand_elems = [e for e, _ in candidates]
+            for prev, multiplicity in tails.items():
+                for i in engine._reachable(
+                    index, probe, prev, step_key, cand_elems
+                ):
+                    e = cand_elems[i]
+                    if e == prev:
+                        continue
+                    grown[e] = grown.get(e, 0) + multiplicity
+        tails = grown
+        if not tails:
+            break
+    return sum(tails.values())
+
+
+LEGACY_PATHS = [
+    "//article//author",
+    "//article//cite",
+    "//article//*",
+    "//*//author",
+    "//~article//author",
+    "/article/authors/author",
+    "/article",
+    "//author",
+    "//article//cite//author",
+    "//article//citations//cite",
+    "//nonexistent//author",
+    "/article//cite//*",
+]
+
+
+@pytest.fixture(scope="module", params=["sets", "arrays"])
+def backend_engines(request):
+    """(engine, distance_engine) per label backend, on one collection."""
+    c = dblp_like(12, seed=31)
+    index = HopiIndex.build(
+        c, strategy="recursive", partitioner="closure",
+        backend=request.param,
+    )
+    dist = HopiIndex.build(
+        c, strategy="unpartitioned", distance=True, backend=request.param
+    )
+    return (
+        QueryEngine(index, max_results=10**9),
+        QueryEngine(dist, max_results=10**9),
+    )
+
+
+def as_pairs(results):
+    return [(r.bindings, r.score) for r in results]
+
+
+class TestDifferential:
+    """New pipeline ≡ frozen legacy evaluator, bit for bit."""
+
+    @pytest.mark.parametrize("path", LEGACY_PATHS)
+    def test_evaluate_matches_reference(self, backend_engines, path):
+        engine, dist_engine = backend_engines
+        for eng in (engine, dist_engine):
+            expected = as_pairs(reference_evaluate(eng, path))
+            for order in ("naive", "selective"):
+                got = as_pairs(eng.evaluate(path, order=order))
+                assert got == expected, (path, order)
+
+    @pytest.mark.parametrize("path", LEGACY_PATHS)
+    def test_count_matches_reference(self, backend_engines, path):
+        engine, dist_engine = backend_engines
+        for eng in (engine, dist_engine):
+            expected = reference_count(eng, path)
+            for order in ("naive", "selective"):
+                assert eng.count(path, order=order) == expected, (path, order)
+
+    def test_matches_reference_under_probe_substitution(self, backend_engines):
+        engine, _ = backend_engines
+        index = engine.index
+        calls = []
+
+        def probe(source, step_key, cand_elems):
+            calls.append((source, step_key))
+            flags = index.connected_many(source, cand_elems)
+            return [i for i, ok in enumerate(flags) if ok]
+
+        for path in ["//article//cite", "//*//author", "//article//cite//author"]:
+            expected = as_pairs(reference_evaluate(engine, path, probe=probe))
+            got = as_pairs(engine.evaluate(path, probe=probe))
+            assert got == expected, path
+            assert engine.count(path, probe=probe) == reference_count(
+                engine, path, probe=probe
+            )
+        assert calls, "the probe substitute must actually be exercised"
+
+    def test_truncation_matches_reference(self, backend_engines):
+        engine, _ = backend_engines
+        truncated = QueryEngine(engine.index, max_results=7)
+        path = "//article//author"
+        assert as_pairs(truncated.evaluate(path)) == as_pairs(
+            reference_evaluate(truncated, path)
+        )
+        assert len(truncated.evaluate(path)) == 7
+
+
+class TestPlannerSoundness:
+    """Any legal zig-zag order returns the same results and scores."""
+
+    @pytest.mark.parametrize(
+        "path", ["//article//cite//author", "/article//cite/title",
+                 "//*//cite//*", "//~article//author//*"]
+    )
+    def test_every_seed_position_agrees(self, backend_engines, path):
+        engine, _ = backend_engines
+        expr = parse_path(path)
+        baseline = as_pairs(engine.evaluate(path, order="naive"))
+        for start in range(len(expr.steps)):
+            plan = plan_query(expr, engine, start=start)
+            ctx = ExecContext(engine, engine.index)
+            results = [
+                QueryResult(b, engine._score_binding(engine.index, expr, b))
+                for b in run_bindings(plan, ctx)
+            ]
+            results.sort(key=lambda r: (-r.score, r.bindings))
+            assert as_pairs(results) == baseline, (path, start)
+
+    def test_directional_counts_agree_both_ways(self, backend_engines):
+        engine, _ = backend_engines
+        for path in ["//article//cite//author", "//*//author"]:
+            expr = parse_path(path)
+            forward = run_count(
+                plan_query(expr, engine, start=0),
+                ExecContext(engine, engine.index),
+            )
+            backward = run_count(
+                plan_query(expr, engine, start=len(expr.steps) - 1),
+                ExecContext(engine, engine.index),
+            )
+            assert forward == backward == engine.count(path), path
+
+    def test_count_rejects_zigzag_plans(self, backend_engines):
+        engine, _ = backend_engines
+        expr = parse_path("//article//cite//author")
+        plan = plan_query(expr, engine, start=1)  # middle seed: mixed
+        if len({op.direction for op in plan.ops[1:]}) > 1:
+            with pytest.raises(ValueError):
+                run_count(plan, ExecContext(engine, engine.index))
+
+    def test_selective_seeds_at_rare_tail(self):
+        c = dblp_like(10, seed=3)
+        rare = c.add_child(
+            c.documents[sorted(c.documents)[0]].root, "erratum"
+        )
+        index = HopiIndex.build(c, strategy="unpartitioned")
+        engine = QueryEngine(index)
+        plan = engine.plan("//*//erratum")
+        assert plan.ops[0] == plan.ops[0].__class__("scan", 1, "seed")
+        assert plan.ops[1].direction == "backward"
+        results = engine.evaluate("//*//erratum")
+        assert {r.target for r in results} == {rare.eid}
+
+
+# ---------------------------------------------------------------------------
+# the new dialect: predicates and windows
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pred_fixture():
+    """Two books (one with an author, one without) plus a linked note."""
+    c = Collection()
+    bib = c.new_document("d1", "bib")
+    with_author = c.add_child(bib.eid, "book")
+    author = c.add_child(with_author.eid, "author")
+    c.add_child(with_author.eid, "title")
+    without = c.add_child(bib.eid, "book")
+    c.add_child(without.eid, "title")
+
+    note_doc = c.new_document("d2", "note")
+    deep = c.add_child(note_doc.eid, "remark")
+    c.add_link(without.eid, note_doc.eid)  # book2 -> note doc (link)
+    index = HopiIndex.build(c, strategy="unpartitioned")
+    ids = dict(bib=bib.eid, book1=with_author.eid, book2=without.eid,
+               author=author.eid, note=note_doc.eid, remark=deep.eid)
+    return QueryEngine(index, max_results=10**9), ids
+
+
+class TestPredicatesAndWindows:
+    def test_child_existence_predicate(self, pred_fixture):
+        engine, ids = pred_fixture
+        results = engine.evaluate("//book[author]")
+        assert {r.target for r in results} == {ids["book1"]}
+
+    def test_descendant_existence_predicate_crosses_links(self, pred_fixture):
+        engine, ids = pred_fixture
+        # only book2 reaches a remark — through the link to the note doc
+        results = engine.evaluate("//book[//remark]")
+        assert {r.target for r in results} == {ids["book2"]}
+
+    def test_nested_predicate(self, pred_fixture):
+        engine, ids = pred_fixture
+        results = engine.evaluate("/bib[book[author]]")
+        assert {r.target for r in results} == {ids["bib"]}
+        assert engine.evaluate("/bib[book[remark]]") == []
+
+    def test_predicates_filter_without_scoring(self, pred_fixture):
+        engine, ids = pred_fixture
+        plain = {r.target: r.score for r in engine.evaluate("//book")}
+        filtered = engine.evaluate("//book[author]")
+        assert all(plain[r.target] == r.score for r in filtered)
+
+    def test_count_and_exists_with_predicates(self, pred_fixture):
+        engine, _ = pred_fixture
+        for path in ["//book[author]", "//book[//remark]", "//bib[book]//title"]:
+            assert engine.count(path) == len(engine.evaluate(path)), path
+        assert engine.exists("//book[author]")
+        assert not engine.exists("//book[nonexistent]")
+
+    def test_window_slices_ranked_results(self, backend_engines):
+        engine, _ = backend_engines
+        full = engine.evaluate("//article//author")
+        windowed = engine.evaluate("//article//author limit 5 offset 3")
+        assert as_pairs(windowed) == as_pairs(full)[3:8]
+        offset_only = engine.evaluate("//article//author offset 4")
+        assert as_pairs(offset_only) == as_pairs(full)[4:]
+
+    def test_count_ignores_window(self, backend_engines):
+        engine, _ = backend_engines
+        assert engine.count("//article//author limit 1") == engine.count(
+            "//article//author"
+        )
+
+    def test_stream_is_lazy_and_windowed(self, backend_engines):
+        engine, _ = backend_engines
+        full = engine.evaluate("//article//author")
+        streamed = list(engine.stream("//article//author limit 4"))
+        assert len(streamed) == 4
+        expected = {(r.bindings, r.score) for r in full}
+        assert all((r.bindings, r.score) in expected for r in streamed)
+
+    def test_stream_terminates_early(self):
+        """A limited stream must not probe every head element."""
+        c = dblp_like(10, seed=5)
+        index = HopiIndex.build(c, strategy="unpartitioned")
+        engine = QueryEngine(index)
+        probes = []
+
+        def probe(source, step_key, cand_elems):
+            probes.append(source)
+            flags = index.connected_many(source, cand_elems)
+            return [i for i, ok in enumerate(flags) if ok]
+
+        list(engine.stream("//article//cite limit 1", probe=probe,
+                           order="naive"))
+        limited = len(probes)
+        probes.clear()
+        list(engine.stream("//article//cite", probe=probe, order="naive"))
+        assert limited < len(probes)
+
+
+# ---------------------------------------------------------------------------
+# plans, keys, prepared queries
+# ---------------------------------------------------------------------------
+
+
+class TestPlanApi:
+    def test_logical_plan_shape(self):
+        plan = build_logical_plan("/bib//book[author]//title limit 3 offset 1")
+        kinds = [type(n) for n in plan.nodes]
+        assert kinds == [Scan, DescendantJoin, Filter, DescendantJoin,
+                         Rank, Limit]
+        scan = plan.nodes[0]
+        assert scan.anchored and scan.position == 0
+        assert plan.nodes[-1] == Limit(3, 1)
+
+    def test_child_join_node(self):
+        plan = build_logical_plan("//book/title")
+        assert type(plan.nodes[1]) is ChildJoin
+
+    def test_plan_key_canonicalises(self):
+        assert plan_key("  //book//author  ") == "//book//author"
+        assert plan_key("//a offset 2 limit 5") == plan_key(
+            "//a limit 5 offset 2"
+        )
+
+    def test_prepared_query_binds_per_engine(self, backend_engines):
+        engine, _ = backend_engines
+        prepared = engine.prepare("//article//author")
+        assert prepared.key == "//article//author"
+        plan = prepared.bind(engine)
+        assert plan.key == prepared.key
+        assert [op.position for op in plan.ops] in ([0, 1], [1, 0])
+
+    def test_explain_mentions_order_and_estimates(self, backend_engines):
+        engine, _ = backend_engines
+        text = engine.explain("//article//author")
+        assert "order:" in text and "candidates" in text
+        naive = engine.explain("//article//author", order="naive")
+        assert "naive" in naive
+
+    def test_plan_describe_is_json_safe(self, backend_engines):
+        import json
+
+        engine, _ = backend_engines
+        payload = engine.plan("//article[//cite]//author limit 2").describe()
+        json.dumps(payload)
+        assert payload["limit"] == 2
+        assert len(payload["steps"]) == 2
+        assert payload["steps"][0]["predicates"] == 1
+
+
+# ---------------------------------------------------------------------------
+# refresh after maintenance (stale memos must never leak)
+# ---------------------------------------------------------------------------
+
+
+class TestRefresh:
+    def test_all_memos_invalidated(self):
+        c = dblp_like(6, seed=2)
+        index = HopiIndex.build(c, strategy="unpartitioned")
+        engine = QueryEngine(index)
+        expr = parse_path("//article//author")
+        step = expr.steps[1]
+        engine.evaluate(expr)
+        engine.plan(expr)
+        before_map = engine._candidate_map(step)
+        before_parents = engine._parent_map(step)
+        doc = sorted(c.documents)[0]
+        deleted = set(c.documents[doc].elements)
+        index.delete_document(doc)
+        engine.refresh()
+        assert engine._candidate_map(step) is not before_map
+        assert engine._parent_map(step) is not before_parents
+        after = engine.evaluate(expr)
+        assert after and not any(
+            e in deleted for r in after for e in r.bindings
+        )
+        assert engine.count(expr) == len(after)

@@ -712,3 +712,168 @@ def test_cli_serve_smoke(tmp_path):
     assert status == 200
     assert data["count"] >= 0
     assert result.get("rc") == 0
+
+
+class TestV1HTTP:
+    """The versioned surface: pagination, explain, structured errors,
+    deprecated legacy aliases."""
+
+    def test_v1_query_pagination(self, http_service):
+        _, base = http_service
+        status, full = get_json(f"{base}/v1/query?path=//article//author")
+        assert status == 200
+        assert "deprecated" not in full
+        total = full["total"]
+        assert total == full["count"] > 4
+        assert full["next_offset"] is None
+        assert full["truncated"] is False
+
+        status, page = get_json(
+            f"{base}/v1/query?path=//article//author&limit=3&offset=2"
+        )
+        assert status == 200
+        assert (page["count"], page["offset"], page["limit"]) == (3, 2, 3)
+        assert page["total"] == total
+        assert page["next_offset"] == 5
+        assert page["results"] == full["results"][2:5]
+
+        status, tail = get_json(
+            f"{base}/v1/query?path=//article//author&offset={total - 1}"
+        )
+        assert tail["count"] == 1 and tail["next_offset"] is None
+
+    def test_v1_expression_window_interacts_with_pagination(self, http_service):
+        _, base = http_service
+        path = "//article//author%20limit%202"
+        status, data = get_json(f"{base}/v1/query?path={path}")
+        assert status == 200
+        assert data["path"] == "//article//author limit 2"
+        assert data["count"] == data["total"] == 2
+
+    def test_v1_count_and_stats(self, http_service):
+        service, base = http_service
+        status, data = get_json(f"{base}/v1/count?path=//article//author")
+        assert status == 200
+        assert data["count"] == service.count("//article//author")[1]
+        status, stats = get_json(f"{base}/v1/stats")
+        assert status == 200
+        assert stats["legacy_hits"] == 0
+
+    def test_v1_explain(self, http_service):
+        _, base = http_service
+        status, data = get_json(f"{base}/v1/explain?path=//*//author")
+        assert status == 200
+        plan = data["plan"]
+        assert plan["backend"] == "arrays"
+        assert plan["mode"] == "selective"
+        assert {s["step"] for s in plan["steps"]} == {"//*", "//author"}
+        assert all(s["estimate"] > 0 for s in plan["steps"])
+        assert [op["op"] for op in plan["order"]] == ["scan", "descendant"]
+        assert "order:" in plan["text"]
+
+    def test_v1_structured_errors(self, http_service):
+        _, base = http_service
+        for url in [
+            f"{base}/v1/query?path=//article&limit=0",
+            f"{base}/v1/query?path=//article&limit=-1",
+            f"{base}/v1/query?path=//article&limit=abc",
+            f"{base}/v1/query?path=//article&offset=-1",
+            f"{base}/v1/query?path=%%%bogus",
+            f"{base}/v1/connected?source=x&target=1",
+        ]:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url)
+            assert err.value.code == 400, url
+            error = json.loads(err.value.read())["error"]
+            assert error["code"] == "bad_request" and error["message"], url
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{base}/v1/no-such")
+        assert err.value.code == 404
+        assert json.loads(err.value.read())["error"]["code"] == "not_found"
+        # /explain is v1-only: the legacy alias must 404, not dispatch
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{base}/explain?path=//article")
+        assert err.value.code == 404
+
+    def test_legacy_int_param_validation_is_400_not_500(self, http_service):
+        _, base = http_service
+        for query in ["limit=-1", "limit=abc", "offset=-2"]:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{base}/query?path=//article&{query}")
+            assert err.value.code == 400, query
+            payload = json.loads(err.value.read())
+            assert isinstance(payload["error"], str)  # legacy flat shape
+        # the legacy limit=0 contract (empty 200 page) must survive —
+        # only /v1 rejects a zero limit
+        status, data = get_json(f"{base}/query?path=//article&limit=0")
+        assert status == 200 and data["results"] == []
+        assert data["deprecated"] is True
+
+    def test_legacy_aliases_deprecated_and_counted(self, http_service):
+        service, base = http_service
+        status, legacy = get_json(f"{base}/query?path=//article//author&limit=2")
+        assert status == 200 and legacy["deprecated"] is True
+        status, count = get_json(f"{base}/count?path=//article//author")
+        assert count["deprecated"] is True
+        status, v1 = get_json(f"{base}/v1/query?path=//article//author&limit=2")
+        assert "deprecated" not in v1
+        assert [r["element"] for r in v1["results"]] == [
+            r["element"] for r in legacy["results"]
+        ]
+        status, stats = get_json(f"{base}/v1/stats")
+        assert stats["legacy_hits"] == 2
+        assert stats["requests"]["legacy:query"] == 1
+        assert stats["requests"]["legacy:count"] == 1
+
+    def test_v1_update_hot_swap_never_leaks_deleted_elements(self, http_service):
+        """Satellite: a stale candidate memo must never leak deleted
+        elements into /v1/query answers across a hot-swap (each epoch
+        publishes a fresh engine with fresh memos)."""
+        service, base = http_service
+        path = "//article//author"
+        status, before = get_json(f"{base}/v1/query?path={path}")
+        assert status == 200 and before["results"]
+        victim_doc = before["results"][0]["doc"]
+        deleted = set(
+            service.index.collection.documents[victim_doc].elements
+        )
+        status, report = post_json(
+            f"{base}/v1/update",
+            {"ops": [{"op": "delete_document", "doc_id": victim_doc}]},
+        )
+        assert status == 200 and report["epoch"] == before["epoch"] + 1
+
+        status, after = get_json(f"{base}/v1/query?path={path}")
+        assert after["epoch"] == report["epoch"]
+        survivors = {
+            e for r in after["results"] for e in r["bindings"]
+        }
+        assert not survivors & deleted
+        assert after["total"] < before["total"]
+        # the same holds through the service object (no HTTP cache quirks)
+        response = service.query(path)
+        assert response.epoch == report["epoch"]
+        assert not {
+            e for r in response.results for e in r.bindings
+        } & deleted
+
+    def test_truncated_flag_when_max_results_hit(self, arrays_index):
+        """total is a lower bound once the ranked list hits max_results
+        — the payload must say so instead of lying silently."""
+        service = QueryService(arrays_index.copy(), max_results=3)
+        response = service.query("//article//author")
+        assert response.truncated is True
+        assert response.total == 3
+        _, exact = service.count("//article//author")
+        assert exact > 3
+
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            status, data = get_json(f"{base}/v1/query?path=//article//author")
+            assert data["truncated"] is True and data["total"] == 3
+        finally:
+            server.shutdown()
+            server.server_close()
