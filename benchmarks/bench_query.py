@@ -19,6 +19,7 @@ from repro.bench.harness import (
     emit_bench_query_entry,
     run_backend_query_benchmark,
     run_planner_benchmark,
+    run_topk_benchmark,
 )
 from repro.core.hopi import HopiIndex
 from repro.graph.closure import transitive_closure
@@ -127,24 +128,44 @@ def test_descendant_step_arrays(benchmark, descendant_workload):
     assert answers == [sets_index.connected_many(s, candidates) for s in sources]
 
 
-def test_backend_comparison_records_trajectory(dblp):
-    """Array backend beats sets on the descendant-step workload, and
-    the planner beats the naive order on the selective-tail workload.
+def test_descendant_step_vector(benchmark, descendant_workload):
+    index, sources, candidates = descendant_workload
+    vector_index = index.with_backend("vector")
+    vector_index.connected_many(sources[0], candidates)  # seal slabs
+    answers = benchmark(
+        lambda: [vector_index.connected_many(s, candidates) for s in sources]
+    )
+    sets_index = index.with_backend("sets")
+    assert answers == [sets_index.connected_many(s, candidates) for s in sources]
 
-    The default run only checks that both backends (and both join
-    orders) produce identical answers — equality is enforced inside
-    the harness; no wall-clock assertion, so shared CI runners can't
-    fail the build on timing noise. Set ``REPRO_BENCH_RECORD=1`` to
-    enforce the ≥ 2x regression bars and append the measurement to the
-    repo-root BENCH_query.json trajectory (the acceptance record lives
-    there)."""
-    rows = run_backend_query_benchmark(dblp)
+
+def test_backend_comparison_records_trajectory(dblp):
+    """Arrays beat sets and vector beats arrays on the descendant-step
+    workload; the planner beats the naive order on the selective-tail
+    workload; the bounded heap beats full materialisation on the
+    ranked-topk workload.
+
+    The default run only checks that every backend (and both join
+    orders, and both ranked-evaluation strategies) produces identical
+    answers — equality is enforced inside the harness; no wall-clock
+    assertion, so shared CI runners can't fail the build on timing
+    noise. Set ``REPRO_BENCH_RECORD=1`` to enforce the regression bars
+    (arrays ≥ 2x sets, vector ≥ 1.5x arrays, planned ≥ 2x naive, heap
+    > 1x full) and append the measurement to the repo-root
+    BENCH_query.json trajectory (the acceptance record lives there)."""
+    rows = run_backend_query_benchmark(
+        dblp, backends=("sets", "arrays", "vector")
+    )
     planner = run_planner_benchmark()
-    assert set(rows) == {"sets", "arrays"}
+    topk = run_topk_benchmark(dblp)
+    assert set(rows) == {"sets", "arrays", "vector"}
     assert set(planner) == {"sets", "arrays"}
     if os.environ.get("REPRO_BENCH_RECORD"):
         entry = emit_bench_query_entry(
-            rows, planner=planner, path=REPO_ROOT / "BENCH_query.json"
+            rows, planner=planner, topk=topk,
+            path=REPO_ROOT / "BENCH_query.json",
         )
         assert entry["speedup_arrays_vs_sets"] >= 2.0, entry
+        assert entry["speedup_vector_vs_arrays"] >= 1.5, entry
         assert entry["speedup_planned_vs_naive"] >= 2.0, entry
+        assert entry["speedup_heap_vs_full"] > 1.0, entry

@@ -26,6 +26,7 @@ from repro.bench.harness import (
     run_insert_document_experiment,
     run_maintenance_experiment,
     run_planner_benchmark,
+    run_topk_benchmark,
     run_query_benchmark,
     run_table1,
     run_table2,
@@ -287,13 +288,17 @@ def run_paper_suite() -> None:
 
 
 def run_query_suite(dblp=None) -> None:
-    """The query benchmark: label backends on the descendant-step
-    workload plus the selective-tail planner comparison — both recorded
-    in one ``BENCH_query.json`` entry."""
+    """The query benchmark: label backends (sets/arrays/vector) on the
+    descendant-step workload, the selective-tail planner comparison and
+    the ranked-topk heap-vs-full comparison — all recorded in one
+    ``BENCH_query.json`` entry."""
     dblp = dblp if dblp is not None else bench_dblp()
-    rows = run_backend_query_benchmark(dblp)
+    rows = run_backend_query_benchmark(
+        dblp, backends=("sets", "arrays", "vector")
+    )
     planner = run_planner_benchmark()
-    entry = emit_bench_query_entry(rows, planner=planner)
+    topk = run_topk_benchmark(dblp)
+    entry = emit_bench_query_entry(rows, planner=planner, topk=topk)
     print_table(
         ["backend", "queries", "cands", "p50 ms", "p95 ms", "total s", "|L|"],
         [
@@ -306,6 +311,7 @@ def run_query_suite(dblp=None) -> None:
         title=(
             "Label backends, descendant-step workload "
             f"(arrays vs sets: {entry.get('speedup_arrays_vs_sets', '-')}x; "
+            f"vector vs arrays: {entry.get('speedup_vector_vs_arrays', '-')}x; "
             "appended to BENCH_query.json)"
         ),
     )
@@ -323,6 +329,18 @@ def run_query_suite(dblp=None) -> None:
             "ancestors-side probes) vs naive left-to-right "
             f"(headline {entry.get('speedup_planned_vs_naive', '-')}x; "
             "≥ 2x is the bar)"
+        ),
+    )
+    print_table(
+        ["backend", "path", "limit", "matches", "full s", "heap s", "speedup"],
+        [(
+            topk.backend, topk.path, topk.limit, topk.matches,
+            round(topk.full_seconds, 4), round(topk.heap_seconds, 4),
+            topk.speedup,
+        )],
+        title=(
+            "Ranked-topk workload: bounded heap vs full materialise-sort "
+            f"(headline {entry.get('speedup_heap_vs_full', '-')}x)"
         ),
     )
 

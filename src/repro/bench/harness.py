@@ -465,6 +465,10 @@ def run_backend_query_benchmark(
     for backend in backends:
         cover = convert_cover(base.cover, backend)
         index = HopiIndex(collection, cover)
+        # warm per-backend lazy state (the vector backend seals its CSR
+        # slabs on the first probe; billing the one-off seal to the
+        # first source would distort the latency percentiles)
+        index.connected_many(sources[0], candidates)
         latencies: List[float] = []
         got: List[List[bool]] = []
         t_total = time.perf_counter()
@@ -581,6 +585,83 @@ def run_planner_benchmark(
     return results
 
 
+@dataclass
+class TopKQueryRow:
+    """Bounded-heap vs full-materialise ranked evaluation."""
+
+    backend: str
+    path: str
+    limit: int
+    matches: int
+    full_seconds: float
+    heap_seconds: float
+    speedup: float
+
+
+def run_topk_benchmark(
+    collection: Optional[Collection] = None,
+    *,
+    backend: str = "arrays",
+    path: Optional[str] = None,
+    limit: int = 10,
+    repeats: int = 3,
+) -> TopKQueryRow:
+    """Ranked top-k workload: heap streaming vs full materialisation.
+
+    The query produces a *large* result set (default: a wildcard head
+    into the collection's most frequent tag) but only the top ``limit``
+    ranked results are wanted. The unlimited evaluation materialises
+    and sorts every match; appending ``limit N`` routes ``evaluate``
+    through the bounded heap. Answers are asserted identical (the heap
+    path is provably the same top window) before any timing is kept.
+    """
+    if collection is None:
+        collection = bench_dblp()
+    if path is None:
+        tag_index = collection.tags()
+        top_tag, _ = max(
+            tag_index.items(), key=lambda kv: (len(kv[1]), kv[0])
+        )
+        path = f"//*//{top_tag}"
+    index = HopiIndex.build(
+        collection, strategy="recursive", partitioner="node_weight",
+        partition_limit=max(collection.num_elements // 16, 1),
+        backend=backend,
+    )
+    from repro.query.engine import QueryEngine
+
+    engine = QueryEngine(index, max_results=10**9)
+    limited = f"{path} limit {limit}"
+
+    def best_of(fn) -> float:
+        best = math.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    full = engine.evaluate(path)  # warm memos (and the reference answer)
+    heap = engine.evaluate(limited)
+    if [(r.bindings, r.score) for r in heap] != [
+        (r.bindings, r.score) for r in full[:limit]
+    ]:
+        raise RuntimeError(
+            f"heap top-k answers diverge from the full sort on {path!r}"
+        )
+    full_seconds = best_of(lambda: engine.evaluate(path))
+    heap_seconds = best_of(lambda: engine.evaluate(limited))
+    return TopKQueryRow(
+        backend=backend,
+        path=path,
+        limit=limit,
+        matches=len(full),
+        full_seconds=full_seconds,
+        heap_seconds=heap_seconds,
+        speedup=round(full_seconds / max(heap_seconds, 1e-9), 2),
+    )
+
+
 def default_trajectory_path() -> Path:
     """The repo-root (or cwd) ``BENCH_query.json`` path."""
     return anchored_trajectory_path("BENCH_query.json")
@@ -590,6 +671,7 @@ def emit_bench_query_entry(
     rows: Dict[str, BackendQueryRow],
     *,
     planner: Optional[Dict[str, PlannerQueryRow]] = None,
+    topk: Optional[TopKQueryRow] = None,
     path: Union[str, Path, None] = None,
     collection_name: str = "DBLP",
     workload: str = "descendant-step",
@@ -601,6 +683,9 @@ def emit_bench_query_entry(
     selective-tail planned-vs-naive comparison
     (:func:`run_planner_benchmark`); its headline
     ``speedup_planned_vs_naive`` is the arrays-backend figure.
+    ``topk`` adds the ranked-topk heap-vs-full comparison
+    (:func:`run_topk_benchmark`) with headline
+    ``speedup_heap_vs_full``.
     """
     if path is None:
         path = default_trajectory_path()
@@ -613,6 +698,11 @@ def emit_bench_query_entry(
         entry["speedup_arrays_vs_sets"] = round(
             rows["sets"].total_seconds / max(rows["arrays"].total_seconds, 1e-9), 2
         )
+    if "arrays" in rows and "vector" in rows:
+        entry["speedup_vector_vs_arrays"] = round(
+            rows["arrays"].total_seconds / max(rows["vector"].total_seconds, 1e-9),
+            2,
+        )
     if planner:
         entry["planner"] = {
             "workload": "selective-tail",
@@ -622,6 +712,9 @@ def emit_bench_query_entry(
         }
         headline = planner.get("arrays") or next(iter(planner.values()))
         entry["speedup_planned_vs_naive"] = headline.speedup
+    if topk is not None:
+        entry["topk"] = {"workload": "ranked-topk", **asdict(topk)}
+        entry["speedup_heap_vs_full"] = topk.speedup
     return append_trajectory(path, entry)
 
 

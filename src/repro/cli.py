@@ -317,9 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["links", "AxD", "A+D"])
     p.add_argument("--distance", action="store_true",
                    help="build a distance-aware cover (Section 5)")
-    p.add_argument("--backend", default="sets", choices=["sets", "arrays"],
-                   help="label backend: dict-of-sets, or interned dense "
-                        "ids with sorted arrays (identical answers)")
+    p.add_argument("--backend", default="sets",
+                   choices=["sets", "arrays", "vector"],
+                   help="label backend: dict-of-sets, interned dense ids "
+                        "with sorted arrays, or sealed CSR slabs with "
+                        "batch probe kernels (identical answers)")
     p.add_argument("--workers", default=None,
                    help="worker-pool size (build partition covers and "
                         "join shards concurrently; Section 4's parallel "
@@ -383,9 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="minimum ontology similarity for a ~tag step to "
                         "include a tag (the serving tier's knob, now "
                         "settable here too)")
-    p.add_argument("--backend", default=None, choices=["sets", "arrays"],
+    p.add_argument("--backend", default=None,
+                   choices=["sets", "arrays", "vector"],
                    help="label backend to load the cover into; 'arrays' "
-                        "uses the batched descendant-step hot path "
+                        "uses the batched descendant-step hot path and "
+                        "'vector' adds sealed-slab batch kernels "
                         "(default: the backend the index was built with)")
     p.set_defaults(func=cmd_query)
 
@@ -412,9 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080,
                    help="listening port (0 picks an ephemeral port)")
-    p.add_argument("--backend", default=None, choices=["sets", "arrays"],
+    p.add_argument("--backend", default=None,
+                   choices=["sets", "arrays", "vector"],
                    help="label backend to serve from (default: as built; "
-                        "'arrays' is the fast descendant-step path)")
+                        "'arrays' is the fast descendant-step path, "
+                        "'vector' its batch-kernel raw-speed variant)")
     p.add_argument("--max-results", type=int, default=1000)
     p.add_argument("--similarity-threshold", type=float, default=0.3,
                    help="minimum ontology similarity for ~tag steps")

@@ -534,8 +534,9 @@ class ArrayTwoHopCover(_ArrayCoverBase):
                 self.add_lout(node, center)
 
     def copy(self) -> "ArrayTwoHopCover":
-        """A structurally independent deep copy of the cover."""
-        clone = ArrayTwoHopCover()
+        """A structurally independent deep copy of the cover (subclasses
+        — the vector backend — clone as their own type)."""
+        clone = type(self)()
         clone.interner = self.interner.copy()
         clone._nodes = set(self._nodes)
         clone._lin = [a[:] if a else None for a in self._lin]
@@ -988,8 +989,9 @@ class ArrayDistanceCover(_ArrayCoverBase):
                 self.add_lout(node, center, dist)
 
     def copy(self) -> "ArrayDistanceCover":
-        """A structurally independent deep copy of the cover."""
-        clone = ArrayDistanceCover()
+        """A structurally independent deep copy of the cover (subclasses
+        — the vector backend — clone as their own type)."""
+        clone = type(self)()
         clone.interner = self.interner.copy()
         clone._nodes = set(self._nodes)
         for src, dst in (

@@ -40,6 +40,7 @@ from repro.core import maintenance as maint
 from repro.core.array_cover import ArrayDistanceCover, ArrayTwoHopCover
 from repro.core.cover import DistanceTwoHopCover, TwoHopCover
 from repro.core.stats import IndexSizeReport
+from repro.core.vector_cover import VectorDistanceCover, VectorTwoHopCover
 from repro.graph.closure import distance_closure, transitive_closure
 from repro.xmlmodel.model import Collection, DocId, ElementId
 
@@ -49,11 +50,15 @@ Cover = Union[TwoHopCover, DistanceTwoHopCover, ArrayTwoHopCover, ArrayDistanceC
 BACKENDS = {
     "sets": (TwoHopCover, DistanceTwoHopCover),
     "arrays": (ArrayTwoHopCover, ArrayDistanceCover),
+    "vector": (VectorTwoHopCover, VectorDistanceCover),
 }
 
 
 def backend_of(cover: Cover) -> str:
     """The backend name a cover instance belongs to."""
+    # the vector covers subclass the array covers — test them first
+    if isinstance(cover, (VectorTwoHopCover, VectorDistanceCover)):
+        return "vector"
     return "arrays" if isinstance(cover, (ArrayTwoHopCover, ArrayDistanceCover)) else "sets"
 
 
@@ -168,6 +173,7 @@ class HopiIndex:
         """
         dup = HopiIndex(self.collection.copy(), self.cover.copy(), stats=self.stats)
         dup.epoch = self.epoch
+        dup._probe_costs = getattr(self, "_probe_costs", None)
         return dup
 
     @property
@@ -206,6 +212,7 @@ class HopiIndex:
         executor: Optional[str] = None,
         rpc_workers: Optional[List[str]] = None,
         join_shards: Optional[int] = None,
+        calibrate_costs: bool = False,
     ) -> "HopiIndex":
         """Build a HOPI index.
 
@@ -244,6 +251,12 @@ class HopiIndex:
             join_shards: shard count for the recursive join's parallel
                 distribution step (default: the worker count; 1 =
                 serial join). Covers are bit-identical for every value.
+            calibrate_costs: micro-benchmark forward vs backward probe
+                costs on the freshly built index and pin the measured
+                planner cost model (see
+                :func:`repro.query.cost.calibrate_probe_costs`);
+                False keeps the backend's static default table, so
+                plans stay deterministic across runs.
         """
         from repro.core.pipeline import BuildPipeline
 
@@ -264,7 +277,10 @@ class HopiIndex:
             join_shards=join_shards,
         )
         cover, stats = pipeline.run()
-        return cls(collection, cover, stats=stats)
+        index = cls(collection, cover, stats=stats)
+        if calibrate_costs:
+            index.calibrate_probe_costs()
+        return index
 
     # ------------------------------------------------------------------
     # queries
@@ -286,6 +302,49 @@ class HopiIndex:
         materialisation over dense ids.
         """
         return self.cover.connected_many(u, candidates)
+
+    def intersect_many(self, sources, candidates) -> List[List[int]]:
+        """For each source, the sorted indices into ``candidates`` it
+        reaches — the block-probe API of the query executor.
+
+        The vector backend answers the whole block from one candidate
+        translation; other backends fall back to one
+        :meth:`connected_many` per source (identical answers).
+        """
+        batch = getattr(self.cover, "intersect_many", None)
+        if batch is not None:
+            return batch(sources, candidates)
+        out: List[List[int]] = []
+        for u in sources:
+            flags = self.cover.connected_many(u, candidates)
+            out.append([i for i, ok in enumerate(flags) if ok])
+        return out
+
+    @property
+    def probe_costs(self):
+        """The per-direction probe cost model planners should use.
+
+        Defaults to the backend's static table
+        (:data:`repro.query.cost.DEFAULT_COST_MODELS`); an explicit
+        :meth:`calibrate_probe_costs` replaces it with measured
+        constants. Not persisted — a loaded index starts from the
+        defaults again.
+        """
+        model = getattr(self, "_probe_costs", None)
+        if model is not None:
+            return model
+        from repro.query.cost import default_cost_model
+
+        return default_cost_model(self.backend)
+
+    def calibrate_probe_costs(self, **kwargs):
+        """Micro-benchmark forward vs backward probes on this index and
+        pin the measured :class:`~repro.query.cost.ProbeCostModel`
+        (see :func:`repro.query.cost.calibrate_probe_costs`)."""
+        from repro.query.cost import calibrate_probe_costs
+
+        self._probe_costs = calibrate_probe_costs(self, **kwargs)
+        return self._probe_costs
 
     def distance(self, u: ElementId, v: ElementId) -> Optional[int]:
         """Shortest link distance, or None when unreachable.

@@ -1,0 +1,391 @@
+"""The ``vector`` label backend: sealed CSR slabs + batch kernels.
+
+:class:`VectorTwoHopCover` / :class:`VectorDistanceCover` subclass the
+array backend, so construction, Section-6 maintenance, snapshots and
+the parallel join all work unchanged — what changes is the probe hot
+path. On the first probe after any mutation the cover **seals**: the
+four label tables are packed into contiguous CSR slabs (one flat
+``array('i')`` data blob plus an ``array('q')`` indptr per table) and
+probes are answered through :mod:`repro.core.kernels`:
+
+* ``connected_many`` materialises the descendant id set once and tests
+  the whole candidate batch via sorted-array membership (numpy
+  ``searchsorted`` when available, C-level set membership otherwise) —
+  no per-candidate interner lookup;
+* ``intersect_many`` amortises further: the candidate list is
+  translated to internal ids **once per batch** and reused across every
+  source in the block (the query executor's block-probe shape);
+* ``connected`` intersects the sealed ``Lout(u)`` / ``Lin(v)`` row
+  slices with a density-chosen kernel.
+
+Mutations (labels, nodes, unions) invalidate the slabs — sealing is
+O(cover size), so write-heavy phases (builds, maintenance) run on the
+inherited array paths and only query-serving epochs pay the pack once.
+Candidate-list translations are cached by object identity; entries pin
+a strong reference to the list, so a recycled ``id()`` can never alias
+a dead list (the engine's candidate memos are immutable by contract).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import kernels
+from repro.core.array_cover import (
+    ID_TYPECODE,
+    ArrayDistanceCover,
+    ArrayTwoHopCover,
+    Node,
+    sorted_contains,
+)
+
+try:  # feature-detected, mirrors repro.core.kernels
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy present in the dev image
+    _np = None
+
+#: How many distinct candidate-list translations to keep per seal.
+_CAND_CACHE_LIMIT = 16
+
+#: How many per-source descendant materialisations to keep per seal.
+_DESC_CACHE_LIMIT = 1024
+
+
+class _Slabs:
+    """One sealed generation: CSR slabs over the four label tables.
+
+    Attributes:
+        indptr: table name → ``array('q')`` row offsets.
+        data: table name → flat ``array('i')`` row data.
+        views: table name → ``memoryview`` of ``data`` (cheap slicing).
+        np_data: table name → int32 numpy view, or None without numpy.
+        active: sorted ``array('i')`` of active node ids.
+        active_np: numpy view of ``active`` (None without numpy).
+    """
+
+    __slots__ = ("indptr", "data", "views", "np_data", "active", "active_np",
+                 "desc_cache")
+
+    def __init__(self, cover: "_VectorSealMixin") -> None:
+        self.indptr: Dict[str, array] = {}
+        self.data: Dict[str, array] = {}
+        self.views: Dict[str, memoryview] = {}
+        self.np_data: Optional[Dict[str, "object"]] = (
+            {} if _np is not None else None
+        )
+        # source id → materialised descendant array; sound to cache
+        # because the slabs are immutable until the next mutation
+        # drops the whole _Slabs object
+        self.desc_cache: Dict[int, object] = {}
+        for name in ("lin", "lout", "inv_lin", "inv_lout"):
+            indptr, data = cover._pack_table(getattr(cover, f"_{name}"))
+            self.indptr[name] = indptr
+            self.data[name] = data
+            self.views[name] = memoryview(data)
+            if self.np_data is not None:
+                self.np_data[name] = _np.frombuffer(data, dtype=_np.intc)
+        self.active = array(ID_TYPECODE, sorted(cover._nodes))
+        self.active_np = (
+            _np.frombuffer(self.active, dtype=_np.intc)
+            if _np is not None and len(self.active)
+            else (_np.empty(0, dtype=_np.intc) if _np is not None else None)
+        )
+
+    def row(self, name: str, iid: int) -> memoryview:
+        """The sealed row of ``name`` for internal id ``iid``."""
+        indptr = self.indptr[name]
+        if iid + 1 >= len(indptr):
+            return self.views[name][0:0]
+        return self.views[name][indptr[iid]:indptr[iid + 1]]
+
+    def np_row(self, name: str, iid: int):
+        """The numpy row slice (requires numpy; zero-copy)."""
+        indptr = self.indptr[name]
+        if iid + 1 >= len(indptr):
+            return self.np_data[name][0:0]
+        return self.np_data[name][indptr[iid]:indptr[iid + 1]]
+
+
+def _in_sorted_np(values, universe):
+    """Vectorised membership of ``values`` in a sorted numpy array.
+
+    Negative sentinels (unknown labels) always map to False.
+    """
+    n = universe.size
+    if n == 0:
+        return _np.zeros(values.size, dtype=bool)
+    idx = _np.searchsorted(universe, values)
+    idx[idx == n] = 0
+    return universe[idx] == values
+
+
+class _VectorSealMixin:
+    """Seal/invalidate machinery + kernel-backed batch probes.
+
+    Mixed in *before* an array cover class, so every mutator below
+    drops the sealed slabs first and then defers to the array
+    implementation (signatures differ between the reachability and
+    distance flavours — the wrappers are shape-agnostic).
+    """
+
+    def __init__(self, nodes=()) -> None:
+        self._slabs: Optional[_Slabs] = None
+        # id(candidates) → (candidates, translated ids, active flags);
+        # the strong reference in slot 0 keeps id() unambiguous
+        self._cand_cache: Dict[int, Tuple[object, object, object]] = {}
+        super().__init__(nodes)
+
+    # -- seal lifecycle -------------------------------------------------
+    def _invalidate(self) -> None:
+        if self._slabs is not None:
+            self._slabs = None
+            self._cand_cache.clear()
+
+    def _seal(self) -> _Slabs:
+        """Pack the label tables into CSR slabs (idempotent until the
+        next mutation)."""
+        slabs = self._slabs
+        if slabs is None:
+            slabs = self._slabs = _Slabs(self)
+        return slabs
+
+    @property
+    def sealed(self) -> bool:
+        """Whether the current generation's slabs are built."""
+        return self._slabs is not None
+
+    # -- mutators: drop the slabs, defer to the array implementation ----
+    def add_node(self, *args, **kwargs):
+        self._invalidate()
+        return super().add_node(*args, **kwargs)
+
+    def add_nodes(self, *args, **kwargs):
+        self._invalidate()
+        return super().add_nodes(*args, **kwargs)
+
+    def add_lin(self, *args, **kwargs):
+        self._invalidate()
+        return super().add_lin(*args, **kwargs)
+
+    def add_lout(self, *args, **kwargs):
+        self._invalidate()
+        return super().add_lout(*args, **kwargs)
+
+    def discard_lin(self, *args, **kwargs):
+        self._invalidate()
+        return super().discard_lin(*args, **kwargs)
+
+    def discard_lout(self, *args, **kwargs):
+        self._invalidate()
+        return super().discard_lout(*args, **kwargs)
+
+    def set_lin(self, *args, **kwargs):
+        self._invalidate()
+        return super().set_lin(*args, **kwargs)
+
+    def set_lout(self, *args, **kwargs):
+        self._invalidate()
+        return super().set_lout(*args, **kwargs)
+
+    def remove_nodes(self, *args, **kwargs):
+        self._invalidate()
+        return super().remove_nodes(*args, **kwargs)
+
+    def union(self, *args, **kwargs):
+        self._invalidate()
+        return super().union(*args, **kwargs)
+
+    def absorb_disjoint(self, *args, **kwargs):
+        self._invalidate()
+        return super().absorb_disjoint(*args, **kwargs)
+
+    def preintern_sorted(self, *args, **kwargs):
+        self._invalidate()
+        return super().preintern_sorted(*args, **kwargs)
+
+    # -- candidate translation (amortised across a batch) ---------------
+    def _candidate_entry(self, candidates: Sequence[Node]):
+        """``(candidates, ids, active_flags)`` for a candidate list.
+
+        ``ids`` is the internal-id translation (-1 for labels the
+        interner has never seen); ``active_flags`` pre-answers the
+        ``id ∈ active universe`` half of the membership test. Cached by
+        object identity per sealed generation — the engine reuses one
+        memoized candidate list per step key, so repeated probes (and
+        every source of an ``intersect_many`` batch) translate once.
+        """
+        key = id(candidates)
+        entry = self._cand_cache.get(key)
+        if entry is not None and entry[0] is candidates:
+            return entry
+        get = self.interner.get
+        ids = [get(c) for c in candidates]
+        slabs = self._seal()
+        if _np is not None:
+            arr = _np.fromiter(
+                (x if x is not None else -1 for x in ids),
+                dtype=_np.int64,
+                count=len(ids),
+            )
+            active_flags = _in_sorted_np(arr, slabs.active_np)
+            entry = (candidates, arr, active_flags)
+        else:
+            id_list = [x if x is not None else -1 for x in ids]
+            entry = (candidates, id_list, None)
+        if len(self._cand_cache) >= _CAND_CACHE_LIMIT:
+            self._cand_cache.clear()
+        self._cand_cache[key] = entry
+        return entry
+
+    # -- sealed descendant materialisation ------------------------------
+    def _desc_sorted_np(self, slabs: _Slabs, ui: int):
+        """Sorted numpy array of ``ui``'s descendant ids (incl. self).
+
+        May contain duplicates — the only consumers do sorted-array
+        membership (``searchsorted``), which is duplicate-oblivious, so
+        one in-place sort replaces ``np.unique``'s sort-plus-dedupe.
+        Cached per seal: the slabs are immutable until the next
+        mutation drops them, so a hot source pays the concatenation
+        once per epoch.
+        """
+        cache = slabs.desc_cache
+        cached = cache.get(ui)
+        if cached is not None:
+            return cached
+        inv_indptr = slabs.indptr["inv_lin"]
+        inv_data = slabs.np_data["inv_lin"]
+        inv_n = len(inv_indptr)
+        parts = [_np.array([ui], dtype=_np.intc)]
+        if ui + 1 < inv_n:
+            inv_row = inv_data[inv_indptr[ui]:inv_indptr[ui + 1]]
+            if inv_row.size:
+                parts.append(inv_row)
+        lout_row = slabs.np_row("lout", ui)
+        if lout_row.size:
+            parts.append(lout_row)
+            for c in lout_row.tolist():
+                if c + 1 < inv_n:
+                    row = inv_data[inv_indptr[c]:inv_indptr[c + 1]]
+                    if row.size:
+                        parts.append(row)
+        if len(parts) == 1:
+            desc = parts[0]
+        else:
+            desc = _np.concatenate(parts)
+            desc.sort()
+        if len(cache) >= _DESC_CACHE_LIMIT:
+            cache.clear()
+        cache[ui] = desc
+        return desc
+
+    def _desc_set(self, slabs: _Slabs, ui: int) -> set:
+        """Descendant ids of ``ui`` as a set, from the sealed slabs
+        (portable path), restricted to the active universe."""
+        result = {ui}
+        inv_row = slabs.row("inv_lin", ui)
+        if len(inv_row):
+            result.update(inv_row)
+        lout_row = slabs.row("lout", ui)
+        if len(lout_row):
+            result.update(lout_row)
+            for c in lout_row:
+                row = slabs.row("inv_lin", c)
+                if len(row):
+                    result.update(row)
+        result.intersection_update(self._nodes)
+        return result
+
+    # -- probes ----------------------------------------------------------
+    def connected_many(self, u: Node, candidates: Sequence[Node]) -> List[bool]:
+        """Batched ``[connected(u, c) for c in candidates]`` over the
+        sealed slabs (identical answers to the array backend, pinned by
+        the equivalence matrix)."""
+        ui = self.interner.get(u)
+        if ui is None or ui not in self._nodes:
+            return [False] * len(candidates)
+        slabs = self._seal()
+        entry = self._candidate_entry(candidates)
+        if _np is not None:
+            desc = self._desc_sorted_np(slabs, ui)
+            flags = _in_sorted_np(entry[1], desc)
+            _np.logical_and(flags, entry[2], out=flags)
+            return flags.tolist()
+        desc = self._desc_set(slabs, ui)
+        return [i in desc for i in entry[1]]
+
+    def intersect_many(
+        self, sources: Sequence[Node], candidates: Sequence[Node]
+    ) -> List[List[int]]:
+        """For each source, the sorted **indices** into ``candidates``
+        it reaches — the batch probe behind the query executor's block
+        joins. Equivalent to ``[[i for i, ok in
+        enumerate(connected_many(s, candidates)) if ok] for s in
+        sources]`` with the candidate translation amortised across the
+        whole batch."""
+        slabs = self._seal()
+        entry = self._candidate_entry(candidates)
+        out: List[List[int]] = []
+        get = self.interner.get
+        nodes = self._nodes
+        if _np is not None:
+            cand_ids, active_flags = entry[1], entry[2]
+            for u in sources:
+                ui = get(u)
+                if ui is None or ui not in nodes:
+                    out.append([])
+                    continue
+                desc = self._desc_sorted_np(slabs, ui)
+                flags = _in_sorted_np(cand_ids, desc)
+                _np.logical_and(flags, active_flags, out=flags)
+                out.append(_np.flatnonzero(flags).tolist())
+            return out
+        ids = entry[1]
+        for u in sources:
+            ui = get(u)
+            if ui is None or ui not in nodes:
+                out.append([])
+                continue
+            desc = self._desc_set(slabs, ui)
+            out.append([j for j, i in enumerate(ids) if i in desc])
+        return out
+
+
+class VectorTwoHopCover(_VectorSealMixin, ArrayTwoHopCover):
+    """Reachability cover answered through sealed-slab kernels."""
+
+    def connected(self, u: Node, v: Node) -> bool:
+        """``u ->* v``? Kernel intersection over sealed row slices when
+        sealed; the inherited galloping path otherwise (so write-heavy
+        phases never force a reseal per probe)."""
+        if self._slabs is None:
+            return super().connected(u, v)
+        get = self.interner.get
+        ui, vi = get(u), get(v)
+        if ui is None or vi is None:
+            return False
+        nodes = self._nodes
+        if ui not in nodes or vi not in nodes:
+            return False
+        if ui == vi:
+            return True
+        slabs = self._slabs
+        lout = slabs.row("lout", ui)
+        if len(lout) and sorted_contains(lout, vi):
+            return True
+        lin = slabs.row("lin", vi)
+        if len(lin) and sorted_contains(lin, ui):
+            return True
+        if len(lout) and len(lin):
+            return kernels.intersects_any(lout, lin, span=len(self.interner))
+        return False
+
+
+class VectorDistanceCover(_VectorSealMixin, ArrayDistanceCover):
+    """Distance cover with sealed-slab batch reachability probes.
+
+    ``distance()`` / ``connected()`` keep the array backend's min-plus
+    galloping merge (distances live in parallel rows the id slabs do
+    not carry); the batch APIs — the query engine's hot path — go
+    through the sealed kernels.
+    """

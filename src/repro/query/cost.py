@@ -1,0 +1,150 @@
+"""Backend-aware probe cost models for the physical planner.
+
+The planner's direction decisions used to compare raw candidate-count
+estimates, implicitly assuming a forward ``descendants``-side probe and
+a backward ``ancestors``-side probe cost the same. They do not, and the
+gap is backend-dependent: the vector backend answers forward blocks
+with one amortised candidate translation plus C-level membership tests,
+while a backward probe still materialises an ancestor set per target.
+A :class:`ProbeCostModel` carries one relative unit cost per direction;
+:func:`repro.query.planner.plan_query` multiplies its candidate
+estimates by them, so a cheap-forward backend flips fewer joins
+backward than a backend where both directions cost alike.
+
+Two sources of models:
+
+* :data:`DEFAULT_COST_MODELS` — static per-backend constants (what an
+  uncalibrated index reports). Deterministic, so plans never flicker
+  between runs.
+* :func:`calibrate_probe_costs` — a micro-benchmark run at build time
+  (``HopiIndex.build(..., calibrate_costs=True)`` or
+  ``index.calibrate_probe_costs()``) that measures both directions on
+  the actual index and clamps the ratio into a sane range.
+
+Either way the *answers* never depend on the model — any join order is
+sound (pinned by the planner-soundness property tests); the model only
+moves the plan along the cost/latency trade-off.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ProbeCostModel:
+    """Relative per-probe costs of one backend's two probe directions.
+
+    Attributes:
+        backend: the label backend the constants describe.
+        forward: unit cost of one forward (``descendants``-side,
+            ``connected_many``/``intersect_many``) probe.
+        backward: unit cost of one backward (``ancestors``-side
+            materialisation) probe.
+        source: ``"default"`` (static table), ``"calibrated"``
+            (micro-bench), ``"neutral"`` (direction-blind legacy
+            behaviour) or ``"synthetic"`` (tests).
+    """
+
+    backend: str
+    forward: float
+    backward: float
+    source: str = "default"
+
+    @property
+    def neutral(self) -> bool:
+        """True when both directions cost the same — the planner then
+        reproduces the legacy count-only decisions exactly."""
+        return self.forward == self.backward
+
+    def unit(self, axis: str, direction: str) -> float:
+        """The weight for joining one position: descendant joins probe
+        the cover (direction-dependent); child joins follow parent
+        pointers and are direction-blind."""
+        if axis != "descendant":
+            return 1.0
+        return self.forward if direction == "forward" else self.backward
+
+
+#: The direction-blind model: multiplies every estimate by 1, so every
+#: decision reduces to the legacy candidate-count comparison.
+NEUTRAL_COST_MODEL = ProbeCostModel("any", 1.0, 1.0, source="neutral")
+
+#: Static per-backend constants (relative units; only the ratio between
+#: directions matters). ``sets``/``arrays`` probe both directions with
+#: comparable per-element python loops — backward pays a little extra
+#: for the ancestor-set materialisation. ``vector`` answers forward
+#: probes through sealed-slab kernels (amortised translation + C
+#: membership), so its forward unit is far below its backward unit.
+DEFAULT_COST_MODELS: Dict[str, ProbeCostModel] = {
+    "sets": ProbeCostModel("sets", 1.0, 1.1),
+    "arrays": ProbeCostModel("arrays", 1.0, 1.3),
+    "vector": ProbeCostModel("vector", 0.35, 1.3),
+}
+
+
+def default_cost_model(backend: str) -> ProbeCostModel:
+    """The static cost model for ``backend`` (neutral when unknown)."""
+    return DEFAULT_COST_MODELS.get(backend, NEUTRAL_COST_MODEL)
+
+
+def calibrate_probe_costs(
+    index,
+    *,
+    samples: int = 24,
+    max_candidates: int = 512,
+    repeats: int = 3,
+    seed: int = 17,
+) -> ProbeCostModel:
+    """Measure forward vs backward probe cost on a concrete index.
+
+    Samples elements of the index's collection, times ``samples``
+    forward ``connected_many`` probes against a fixed candidate list
+    and ``samples`` backward ``ancestors``-side materialisations (the
+    exact shapes the executor issues), and returns a model with
+    ``forward`` normalised to 1.0. The measured ratio is clamped to
+    ``[0.05, 20]`` so one noisy run can never produce a degenerate
+    planner. Falls back to the backend's static table on collections
+    too small to measure.
+    """
+    elements = sorted(index.collection.elements)
+    if len(elements) < 2:
+        return default_cost_model(index.backend)
+    rng = random.Random(seed)
+    candidates = elements[:max_candidates]
+    cand_set = set(candidates)
+    probes = [rng.choice(elements) for _ in range(samples)]
+
+    def time_best(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return max(best, 1e-9)
+
+    def forward_pass() -> None:
+        for s in probes:
+            index.connected_many(s, candidates)
+
+    def backward_pass() -> None:
+        # mirrors ExecContext.backward_reach: materialise the ancestor
+        # set, intersect with the candidate map, sort
+        for t in probes:
+            ancestors = index.ancestors(t)
+            if len(cand_set) < len(ancestors):
+                sorted(e for e in cand_set if e in ancestors)
+            else:
+                sorted(e for e in ancestors if e in cand_set)
+
+    forward_pass()  # warm caches/slabs so the seal is not billed
+    forward_seconds = time_best(forward_pass)
+    backward_seconds = time_best(backward_pass)
+    ratio = backward_seconds / forward_seconds
+    ratio = min(max(ratio, 0.05), 20.0)
+    return ProbeCostModel(
+        index.backend, 1.0, round(ratio, 3), source="calibrated"
+    )

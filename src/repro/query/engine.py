@@ -26,6 +26,7 @@ materialising tuples), ``exists`` stops at the first match, and
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -52,9 +53,13 @@ StepKey = Tuple[str, bool]
 #: A descendant-step probe: ``probe(source, step_key, candidates)``
 #: returns the indices into ``candidates`` reachable from ``source``.
 #: The default computes via ``index.connected_many``; the service layer
-#: substitutes a per-epoch, cross-thread coalescing cache. Backward
-#: (``ancestors``-side) probes are answered from the execution
-#: context's materialisation memo and never reach this hook.
+#: substitutes a per-epoch, cross-thread coalescing cache. A probe
+#: *object* may additionally expose two optional hooks the executor
+#: feature-detects: ``probe.many(sources, step_key, candidates)``
+#: returning ``{source: [indices]}`` for a whole frontier block (backed
+#: by ``index.intersect_many``), and ``probe.backward(target, step_key,
+#: compute)`` caching backward (``ancestors``-side) materialisations —
+#: plain callables keep the legacy one-source-per-call behaviour.
 Probe = Callable[[ElementId, StepKey, Sequence[ElementId]], List[int]]
 
 
@@ -275,13 +280,46 @@ class QueryEngine:
         :meth:`PreparedQuery.bind`."""
         return PreparedQuery(path)
 
-    def plan(self, path: Query, *, order: Optional[str] = None) -> PhysicalPlan:
-        """The physical plan :meth:`evaluate` would run for ``path``."""
-        return plan_query(self._lower(path), self, order=order or self.planner)
+    @property
+    def cost_model(self):
+        """The index's per-direction probe cost model (what
+        :func:`~repro.query.planner.plan_query` weighs direction and
+        seed decisions with). Sourced from ``index.probe_costs`` —
+        static per-backend constants unless the index was calibrated."""
+        return getattr(self.index, "probe_costs", None)
 
-    def explain(self, path: Query, *, order: Optional[str] = None) -> str:
-        """Human-readable plan rendering (``repro query --explain``)."""
-        return self.plan(path, order=order).explain()
+    def plan(
+        self,
+        path: Query,
+        *,
+        order: Optional[str] = None,
+        directional: bool = False,
+    ) -> PhysicalPlan:
+        """The physical plan :meth:`evaluate` would run for ``path``
+        (``directional=True`` shows the endpoint-seeded plan
+        :meth:`count` would run instead)."""
+        return plan_query(
+            self._lower(path), self, order=order or self.planner,
+            directional=directional,
+        )
+
+    def explain(
+        self,
+        path: Query,
+        *,
+        order: Optional[str] = None,
+        mode: str = "evaluate",
+    ) -> str:
+        """Human-readable plan rendering (``repro query --explain``).
+
+        ``mode`` selects which execution profile the ``exec:`` line
+        describes (``"evaluate"``, ``"stream"``, ``"count"``,
+        ``"exists"``); ``count`` renders the directional plan that the
+        counting path actually runs.
+        """
+        return self.plan(
+            path, order=order, directional=(mode == "count"),
+        ).explain(mode)
 
     # ------------------------------------------------------------------
     # evaluation API
@@ -336,15 +374,31 @@ class QueryEngine:
         """
         logical, plan, ctx, index = self._pipeline(path, index, probe, order)
         expr = logical.expr
+        window = logical.window
+        if window is not None and window.limit is not None:
+            # bounded-heap top-k: scores stream straight out of the
+            # pipeline into a heap of offset+limit entries, so a
+            # large match set with a small window never materialises
+            # the full ranked list. Identical to sort-then-slice:
+            # bindings are unique, so the (-score, bindings) tuple
+            # order is total.
+            k = window.offset + window.limit
+            top = heapq.nsmallest(
+                k,
+                (
+                    (-self._score_binding(index, expr, b), b)
+                    for b in run_bindings(plan, ctx)
+                ),
+            )
+            results = [QueryResult(b, -neg) for neg, b in top]
+            return results[window.offset:][: self.max_results]
         results = [
             QueryResult(b, self._score_binding(index, expr, b))
             for b in run_bindings(plan, ctx)
         ]
         results.sort(key=lambda r: (-r.score, r.bindings))
-        window = logical.window
         if window is not None:
-            stop = None if window.limit is None else window.offset + window.limit
-            results = results[window.offset:stop]
+            results = results[window.offset:]
         return results[: self.max_results]
 
     def stream(

@@ -26,19 +26,32 @@ All per-execution memo state (forward probe answers, ``ancestors``
 materialisations, predicate verdicts) lives in one :class:`ExecContext`
 so a single query never repeats a probe, while nothing leaks across
 epochs — the service layer's per-epoch probe cache plugs in underneath
-via the engine's ``probe`` hook (forward probes only; backward probes
-are answered from the ``ancestors`` materialisation memo).
+via the engine's ``probe`` hook. Probe *objects* may expose two
+optional batch hooks the executor feature-detects: ``probe.many`` lets
+descendant joins prefetch a whole block of frontier sources in one
+``intersect_many`` round-trip (the vector backend's bulk entry point),
+and ``probe.backward`` lets the serving tier cache ``ancestors``-side
+materialisations across queries; plain callables keep the legacy
+one-source-per-call behaviour (what the probe-counting tests rely on).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.query.pathexpr import Predicate, Step
 from repro.query.planner import PhysicalOp, PhysicalPlan
 from repro.xmlmodel.model import ElementId
 
 Binding = Tuple[ElementId, ...]
+
+#: Descendant-join block size: how many partial bindings a forward
+#: stage pulls from its upstream before issuing one batched
+#: ``intersect_many`` prefetch for their sources. Bounds the laziness
+#: loss of batching — ``exists`` pulls at most one block through a
+#: descendant stage before its first answer.
+FORWARD_BLOCK = 32
 
 
 class ExecContext:
@@ -77,6 +90,42 @@ class ExecContext:
             self._forward[(source, key)] = cached
         return cached
 
+    def prefetch_forward(
+        self, sources: Sequence[ElementId], step: Step
+    ) -> None:
+        """Fill the forward memo for a whole block of sources in one
+        batched probe.
+
+        Routes through ``probe.many`` when the probe object exposes it
+        (the serving tier's per-epoch cache answers hits and computes
+        the misses in one ``intersect_many``); without a probe, calls
+        ``index.intersect_many`` directly — one candidate translation
+        amortised across the block on the vector backend. A plain
+        callable probe without ``.many`` disables prefetching so every
+        source still goes through the per-source hook (probe-counting
+        tests and exotic probes keep their exact call pattern).
+        """
+        key = (step.tag, step.similar)
+        missing = [
+            s for s in dict.fromkeys(sources)
+            if (s, key) not in self._forward
+        ]
+        if not missing:
+            return
+        cand_elems = self.engine._candidate_elems(step)
+        if self.probe is not None:
+            many = getattr(self.probe, "many", None)
+            if many is None:
+                return
+            answers: Dict[ElementId, List[int]] = many(
+                missing, key, cand_elems
+            )
+        else:
+            rows = self.index.intersect_many(missing, cand_elems)
+            answers = dict(zip(missing, rows))
+        for source in missing:
+            self._forward[(source, key)] = answers[source]
+
     def backward_reach(self, target: ElementId, step: Step) -> List[ElementId]:
         """Candidates of ``step`` that *reach* ``target`` — the
         ``ancestors``-side probe (one materialisation per distinct
@@ -84,16 +133,27 @@ class ExecContext:
 
         Only the candidate intersection is retained — the raw ancestor
         set is transient — so, like the forward cache, memory stays
-        bounded by true positives rather than by full reach sets."""
-        key = (target, (step.tag, step.similar))
+        bounded by true positives rather than by full reach sets.
+        When the probe object exposes ``backward``, the materialisation
+        is routed through it so the serving tier can cache it across
+        queries of the same epoch (these probes used to miss the probe
+        cache unconditionally)."""
+        step_key = (step.tag, step.similar)
+        key = (target, step_key)
         cached = self._backward.get(key)
         if cached is None:
-            ancestors: Set[ElementId] = self.index.ancestors(target)
-            cmap = self.engine._candidate_map(step)
-            if len(cmap) < len(ancestors):
-                cached = sorted(e for e in cmap if e in ancestors)
-            else:
-                cached = sorted(e for e in ancestors if e in cmap)
+            def compute() -> List[ElementId]:
+                ancestors: Set[ElementId] = self.index.ancestors(target)
+                cmap = self.engine._candidate_map(step)
+                if len(cmap) < len(ancestors):
+                    return sorted(e for e in cmap if e in ancestors)
+                return sorted(e for e in ancestors if e in cmap)
+
+            backward: Optional[object] = (
+                getattr(self.probe, "backward", None)
+                if self.probe is not None else None
+            )
+            cached = backward(target, step_key, compute) if backward else compute()
             self._backward[key] = cached
         return cached
 
@@ -173,14 +233,23 @@ def _extend_forward(
                     yield partial + (element,)
     else:
         cand_elems = ctx.engine._candidate_elems(step)
-        for partial in stream:
-            prev = partial[-1]
-            for j in ctx.forward_reach(prev, step):
-                element = cand_elems[j]
-                if element == prev:
-                    continue
-                if ctx.filters_ok(element, filters):
-                    yield partial + (element,)
+        # pull partials in blocks so the whole block's sources go out
+        # as ONE batched probe (intersect_many / probe.many) instead of
+        # one round-trip per partial; within a block the per-source
+        # memo answers instantly. Block size bounds the laziness loss.
+        while True:
+            block = list(itertools.islice(stream, FORWARD_BLOCK))
+            if not block:
+                return
+            ctx.prefetch_forward([p[-1] for p in block], step)
+            for partial in block:
+                prev = partial[-1]
+                for j in ctx.forward_reach(prev, step):
+                    element = cand_elems[j]
+                    if element == prev:
+                        continue
+                    if ctx.filters_ok(element, filters):
+                        yield partial + (element,)
 
 
 def _extend_backward(
@@ -307,6 +376,8 @@ def run_count(plan: PhysicalPlan, ctx: ExecContext) -> int:
                             grown[child] = grown.get(child, 0) + multiplicity
             else:
                 cand_elems = ctx.engine._candidate_elems(step)
+                # the whole frontier is known up front: one batched probe
+                ctx.prefetch_forward(list(frontier), step)
                 for element, multiplicity in frontier.items():
                     for j in ctx.forward_reach(element, step):
                         target = cand_elems[j]

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.query.cost import NEUTRAL_COST_MODEL, ProbeCostModel
 from repro.query.pathexpr import PathExpression, Predicate, parse_path
 from repro.query.plan import Limit, LogicalPlan, build_logical_plan
 
@@ -67,12 +68,15 @@ class PhysicalPlan:
         estimates: per-position candidate-cardinality estimates the
             order was chosen from.
         mode: the planner mode that produced the order.
+        cost_model: the per-direction probe cost model the order was
+            weighed with (None = direction-blind legacy behaviour).
     """
 
     logical: LogicalPlan
     ops: Tuple[PhysicalOp, ...]
     estimates: Tuple[int, ...]
     mode: str
+    cost_model: Optional[ProbeCostModel] = None
 
     @property
     def expr(self) -> PathExpression:
@@ -94,10 +98,75 @@ class PhysicalPlan:
         """The logical :class:`~repro.query.plan.Limit` node, if any."""
         return self.logical.window
 
-    def describe(self) -> Dict[str, object]:
+    def execution_profile(self, mode: str = "evaluate") -> Dict[str, object]:
+        """How an evaluation ``mode`` runs this plan — which operator
+        work is short-circuited or skipped entirely.
+
+        ``mode`` is one of ``"evaluate"``, ``"stream"``, ``"count"``,
+        ``"exists"``. The profile makes the short-circuit paths
+        explicit: a limited ``evaluate`` streams scores into a bounded
+        heap instead of materialising and sorting the full result list;
+        ``count`` aggregates frontiers and never scores, ranks or
+        materialises tuples; ``exists`` stops the pipeline at the first
+        full binding.
+        """
+        expr = self.expr
+        if mode == "evaluate":
+            if expr.limit is not None:
+                k = (expr.offset or 0) + expr.limit
+                return {
+                    "mode": mode,
+                    "strategy": f"heap-topk(k={k})",
+                    "skipped": ["full-list materialisation", "full sort"],
+                    "note": (
+                        f"scores stream into a bounded heap of {k} "
+                        "(offset + limit); only the top window is ever "
+                        "materialised as result objects"
+                    ),
+                }
+            return {
+                "mode": mode,
+                "strategy": "materialise-sort",
+                "skipped": [],
+                "note": "full result list materialised, sorted, windowed",
+            }
+        if mode == "stream":
+            return {
+                "mode": mode,
+                "strategy": "lazy-stream",
+                "skipped": ["ranking"],
+                "note": (
+                    "unranked pipeline order; the expression limit stops "
+                    "the pipeline as soon as it is filled"
+                ),
+            }
+        if mode == "count":
+            return {
+                "mode": mode,
+                "strategy": "frontier-aggregation",
+                "skipped": ["scoring", "ranking", "tuple materialisation"],
+                "note": (
+                    "directional plan aggregates element → multiplicity "
+                    "per frontier; no binding tuples are ever built"
+                ),
+            }
+        if mode == "exists":
+            return {
+                "mode": mode,
+                "strategy": "first-match",
+                "skipped": ["scoring", "ranking",
+                            "every binding after the first"],
+                "note": "pipeline stops at the first full binding",
+            }
+        raise ValueError(
+            f"unknown execution mode {mode!r}; one of "
+            "('evaluate', 'stream', 'count', 'exists')"
+        )
+
+    def describe(self, mode: str = "evaluate") -> Dict[str, object]:
         """A JSON-safe description (the ``/v1/explain`` payload)."""
         expr = self.expr
-        return {
+        payload: Dict[str, object] = {
             "path": str(expr),
             "mode": self.mode,
             "steps": [
@@ -117,9 +186,19 @@ class PhysicalPlan:
             ],
             "limit": expr.limit,
             "offset": expr.offset,
+            "execution": self.execution_profile(mode),
         }
+        if self.cost_model is not None:
+            cm = self.cost_model
+            payload["cost_model"] = {
+                "backend": cm.backend,
+                "forward": cm.forward,
+                "backward": cm.backward,
+                "source": cm.source,
+            }
+        return payload
 
-    def explain(self) -> str:
+    def explain(self, mode: str = "evaluate") -> str:
         """A human-readable rendering (``repro query --explain``)."""
         expr = self.expr
         lines = [f"query: {expr}", f"mode:  {self.mode}", "order:"]
@@ -145,6 +224,12 @@ class PhysicalPlan:
                 f"{step}  — {detail}, ~{self.estimates[op.position]} "
                 f"candidates{predicates}"
             )
+        if self.cost_model is not None and not self.cost_model.neutral:
+            cm = self.cost_model
+            lines.append(
+                f"costs: forward x{cm.forward:g}, backward x{cm.backward:g} "
+                f"({cm.source} model, backend {cm.backend})"
+            )
         window = []
         if expr.offset:
             window.append(f"offset {expr.offset}")
@@ -153,6 +238,12 @@ class PhysicalPlan:
         lines.append(
             "rank:  score desc, bindings asc"
             + (f"; window: {' '.join(window)}" if window else "")
+        )
+        profile = self.execution_profile(mode)
+        skipped = profile["skipped"]
+        lines.append(
+            f"exec:  {profile['mode']} via {profile['strategy']}"
+            + (f"; skipped: {', '.join(skipped)}" if skipped else "")
         )
         return "\n".join(lines)
 
@@ -177,21 +268,33 @@ def order_steps(
     estimates: Tuple[int, ...],
     *,
     start: int,
+    cost_model: Optional[ProbeCostModel] = None,
 ) -> Tuple[PhysicalOp, ...]:
     """The greedy zig-zag order seeded at ``start``.
 
     Grows the bound range one adjacent position at a time, always
-    taking the side with the smaller candidate estimate (ties extend
-    forward, matching the legacy bias).
+    taking the side with the smaller *weighted* candidate estimate:
+    each side's estimate is multiplied by the cost model's per-probe
+    unit for the direction that side would be joined in (ties extend
+    forward, matching the legacy bias). With a neutral (or absent)
+    model every weight is 1.0 and the order reduces exactly to the
+    legacy count-only comparison.
     """
     n = len(expr.steps)
     if not 0 <= start < n:
         raise ValueError(f"start must be a step position in [0, {n}), got {start}")
+    cm = cost_model or NEUTRAL_COST_MODEL
     ops = [PhysicalOp("scan", start, "seed")]
     lo = hi = start
     while lo > 0 or hi < n - 1:
-        left = estimates[lo - 1] if lo > 0 else None
-        right = estimates[hi + 1] if hi < n - 1 else None
+        left = (
+            estimates[lo - 1] * cm.unit(expr.steps[lo].axis, "backward")
+            if lo > 0 else None
+        )
+        right = (
+            estimates[hi + 1] * cm.unit(expr.steps[hi + 1].axis, "forward")
+            if hi < n - 1 else None
+        )
         if right is not None and (left is None or right <= left):
             hi += 1
             axis = expr.steps[hi].axis
@@ -208,6 +311,54 @@ def order_steps(
     return tuple(ops)
 
 
+def plan_cost(
+    expr: PathExpression,
+    estimates: Tuple[int, ...],
+    cost_model: ProbeCostModel,
+    *,
+    start: int,
+) -> float:
+    """The modeled total probe cost of the greedy order seeded at
+    ``start``.
+
+    Simulates the same growth :func:`order_steps` performs and charges
+    each join stage for its *frontier*: extending forward from ``hi``
+    to ``hi + 1`` issues one probe per candidate currently bound at
+    ``hi`` (so ``estimates[hi] × unit(axis, "forward")``), and
+    extending backward from ``lo`` to ``lo - 1`` charges
+    ``estimates[lo] × unit(axis, "backward")``. The seed itself
+    contributes its scan cardinality. With a neutral model the
+    directional endpoint comparison preserves the legacy rule (a
+    two-step total is twice its endpoint estimate, so the cheaper
+    endpoint still wins) — the planner uses the legacy rules directly
+    in that case and only consults this function for skewed models.
+    """
+    n = len(expr.steps)
+    cm = cost_model
+    total = float(estimates[start])
+    lo = hi = start
+    while lo > 0 or hi < n - 1:
+        left = (
+            estimates[lo - 1] * cm.unit(expr.steps[lo].axis, "backward")
+            if lo > 0 else None
+        )
+        right = (
+            estimates[hi + 1] * cm.unit(expr.steps[hi + 1].axis, "forward")
+            if hi < n - 1 else None
+        )
+        if right is not None and (left is None or right <= left):
+            total += estimates[hi] * cm.unit(
+                expr.steps[hi + 1].axis, "forward"
+            )
+            hi += 1
+        else:
+            total += estimates[lo] * cm.unit(
+                expr.steps[lo].axis, "backward"
+            )
+            lo -= 1
+    return total
+
+
 def plan_query(
     path: "str | PathExpression | LogicalPlan",
     engine,
@@ -215,6 +366,7 @@ def plan_query(
     order: str = "selective",
     start: Optional[int] = None,
     directional: bool = False,
+    cost_model: Optional[ProbeCostModel] = None,
 ) -> PhysicalPlan:
     """Choose a physical join order for ``path`` against ``engine``.
 
@@ -235,6 +387,11 @@ def plan_query(
             backward — required by the aggregated counting path, whose
             per-element multiplicity map only exists at a chain's open
             end.
+        cost_model: override the per-direction probe cost model;
+            defaults to the engine's (``engine.cost_model``, itself
+            sourced from the index backend). Direction and seed
+            decisions weight candidate estimates by it; a neutral
+            model reproduces the legacy count-only decisions exactly.
 
     Returns:
         The chosen :class:`PhysicalPlan`.
@@ -243,6 +400,7 @@ def plan_query(
     expr = logical.expr
     estimates = estimate_cardinalities(expr, engine)
     n = len(expr.steps)
+    cm = cost_model or getattr(engine, "cost_model", None) or NEUTRAL_COST_MODEL
     mode = order
     if start is not None:
         mode = f"forced[{start}]"
@@ -251,9 +409,19 @@ def plan_query(
         seed = 0
     elif order == "selective":
         if directional:
-            seed = 0 if estimates[0] <= estimates[n - 1] else n - 1
-        else:
+            if cm.neutral:
+                seed = 0 if estimates[0] <= estimates[n - 1] else n - 1
+            else:
+                fwd = plan_cost(expr, estimates, cm, start=0)
+                bwd = plan_cost(expr, estimates, cm, start=n - 1)
+                seed = 0 if fwd <= bwd else n - 1
+        elif cm.neutral:
             seed = min(range(n), key=lambda i: (estimates[i], i))
+        else:
+            seed = min(
+                range(n),
+                key=lambda i: (plan_cost(expr, estimates, cm, start=i), i),
+            )
     else:
         raise ValueError(
             f"unknown planner mode {order!r}; one of {PLANNER_MODES}"
@@ -262,8 +430,13 @@ def plan_query(
         raise ValueError(
             f"directional plans must seed at an endpoint, got {seed}"
         )
-    return PhysicalPlan(logical, order_steps(expr, estimates, start=seed),
-                        estimates, mode)
+    return PhysicalPlan(
+        logical,
+        order_steps(expr, estimates, start=seed, cost_model=cm),
+        estimates,
+        mode,
+        cost_model=None if cm is NEUTRAL_COST_MODEL else cm,
+    )
 
 
 class PreparedQuery:

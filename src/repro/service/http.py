@@ -17,7 +17,9 @@ The API is versioned under ``/v1`` (all JSON):
                                ``total`` is a lower bound — use
                                ``/v1/count`` for the exact number)
 ``GET /v1/count``              ``path`` — unranked total match count
-``GET /v1/explain``            ``path`` — the physical plan that would
+``GET /v1/explain``            ``path`` (+ optional ``mode`` —
+                               ``evaluate``/``stream``/``count``/
+                               ``exists``) — the physical plan that would
                                run (estimates, join order/directions)
 ``GET /v1/connected``          ``source``, ``target`` — reachability test
 ``GET /v1/distance``           ``source``, ``target`` — shortest link
@@ -256,7 +258,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_explain(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
         path = self._param(params, "path")
-        epoch, plan = self.service.explain(path)
+        mode = params.get("mode", ["evaluate"])[0]
+        epoch, plan = self.service.explain(path, mode=mode)
         return 200, {"epoch": epoch, "plan": plan}
 
     def _handle_connected(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:

@@ -48,6 +48,80 @@ class UpdateError(ValueError):
     """A malformed or inapplicable ``/update`` operation (maps to 400)."""
 
 
+_MISSING = object()
+
+
+class _EpochProbe:
+    """The coalescing descendant-probe of one epoch.
+
+    Callable with the plain :data:`~repro.query.engine.Probe` shape
+    (one forward probe per source, single-flight coalesced), plus the
+    two optional batch hooks the executor feature-detects:
+
+    * :meth:`many` answers a whole frontier block — cached sources
+      straight from the LRU, the misses computed in **one**
+      ``index.intersect_many`` round-trip and written back, so a block
+      costs one candidate translation instead of one per source.
+    * :meth:`backward` caches ``ancestors``-side materialisations under
+      ``("bwd", target, step_key)`` in the same per-epoch cache.
+      Backward probes used to bypass the probe cache entirely (every
+      backward-planned query re-materialised the same ancestor
+      intersections); now a second backward-heavy query over the same
+      epoch hits.
+
+    Keyed by ``(source, step_key)`` / ``("bwd", target, step_key)`` —
+    sound because within an epoch the engine's memoized candidate list
+    for a step key is fixed, so identical keys mean identical probes.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: EpochState) -> None:
+        self._state = state
+
+    def __call__(
+        self, source: ElementId, step_key: StepKey,
+        cand_elems: Sequence[ElementId],
+    ) -> List[int]:
+        state = self._state
+
+        def compute() -> List[int]:
+            flags = state.index.connected_many(source, cand_elems)
+            return [i for i, ok in enumerate(flags) if ok]
+
+        reach, _ = state.probes.get_or_compute((source, step_key), compute)
+        return reach
+
+    def many(
+        self, sources: Sequence[ElementId], step_key: StepKey,
+        cand_elems: Sequence[ElementId],
+    ) -> Dict[ElementId, List[int]]:
+        state = self._state
+        answers: Dict[ElementId, List[int]] = {}
+        missing: List[ElementId] = []
+        for source in sources:
+            cached = state.probes.cache.get((source, step_key), _MISSING)
+            if cached is _MISSING:
+                missing.append(source)
+            else:
+                answers[source] = cached
+        if missing:
+            rows = state.index.intersect_many(missing, cand_elems)
+            for source, row in zip(missing, rows):
+                state.probes.cache.put((source, step_key), row)
+                answers[source] = row
+        return answers
+
+    def backward(
+        self, target: ElementId, step_key: StepKey,
+        compute: Callable[[], List[ElementId]],
+    ) -> List[ElementId]:
+        value, _ = self._state.probes.get_or_compute(
+            ("bwd", target, step_key), compute
+        )
+        return value
+
+
 @dataclass(frozen=True)
 class QueryResponse:
     """One answered query, tagged with the epoch that answered it.
@@ -147,24 +221,9 @@ class QueryService:
         )
 
     def _probe_for(self, state: EpochState) -> Probe:
-        """The coalescing descendant-probe for one epoch.
-
-        Keyed by ``(source, step_key)`` — sound because within an epoch
-        the engine's memoized candidate list for a step key is fixed, so
-        identical keys mean identical probes.
-        """
-
-        def probe(
-            source: ElementId, step_key: StepKey, cand_elems: Sequence[ElementId]
-        ) -> List[int]:
-            def compute() -> List[int]:
-                flags = state.index.connected_many(source, cand_elems)
-                return [i for i, ok in enumerate(flags) if ok]
-
-            reach, _ = state.probes.get_or_compute((source, step_key), compute)
-            return reach
-
-        return probe
+        """The coalescing probe for one epoch (see :class:`_EpochProbe`
+        for the caching/batching contract)."""
+        return _EpochProbe(state)
 
     def _count(self, name: str) -> None:
         with self._counter_lock:
@@ -256,16 +315,22 @@ class QueryService:
         return state.epoch, n
 
     def explain(
-        self, path: Union[str, PathExpression]
+        self, path: Union[str, PathExpression], *, mode: str = "evaluate"
     ) -> Tuple[int, Dict[str, Any]]:
         """``(epoch, plan description)`` for the ``/v1/explain``
         endpoint: the physical plan the current epoch's engine would
-        run, as a JSON-safe dict plus its human-readable rendering."""
+        run, as a JSON-safe dict plus its human-readable rendering.
+
+        ``mode`` selects which execution profile the payload carries
+        (``"evaluate"``, ``"stream"``, ``"count"``, ``"exists"``);
+        ``count`` describes the directional plan the counting path
+        actually runs.
+        """
         state = self._holder.current
         prepared = self._prepare(path)
-        plan = prepared.bind(state.engine)
-        payload = plan.describe()
-        payload["text"] = plan.explain()
+        plan = prepared.bind(state.engine, directional=(mode == "count"))
+        payload = plan.describe(mode)
+        payload["text"] = plan.explain(mode)
         payload["backend"] = state.index.backend
         self._count("explain")
         return state.epoch, payload

@@ -62,7 +62,7 @@ def test_backend_flag_in_help(capsys):
         with pytest.raises(SystemExit):
             main([sub, "--help"])
         out = capsys.readouterr().out
-        assert "--backend {sets,arrays}" in out
+        assert "--backend {sets,arrays,vector}" in out
 
 
 def test_query_backends_agree(index_path, capsys):

@@ -1,15 +1,20 @@
 """Randomized backend-equivalence suite.
 
-The array backend must be indistinguishable from the set backend at the
-query interface: on seeded random DAG and cyclic collections, both must
-return identical ``connected``, ``distance``, ``ancestors`` and
+The tested backend must be indistinguishable from the set backend at
+the query interface: on seeded random DAG and cyclic collections, both
+must return identical ``connected``, ``distance``, ``ancestors`` and
 ``descendants`` answers — after the initial build and after arbitrary
 maintenance sequences (element/edge/document insertion, edge/document
 deletion). Two structurally identical collections are generated per
 seed (element-id allocation is deterministic) so each backend maintains
 its own collection/cover pair in lock-step.
+
+``REPRO_BACKEND`` selects the backend under test (default ``arrays``;
+CI runs the matrix a second time with ``REPRO_BACKEND=vector`` so the
+sealed-slab kernels face the same oracle).
 """
 
+import os
 import random
 
 import pytest
@@ -19,6 +24,9 @@ from repro.graph.closure import distance_closure, transitive_closure
 from repro.xmlmodel.model import Collection
 
 TAGS = ("a", "b", "c")
+
+#: The backend checked against the ``sets`` oracle.
+BACKEND = os.environ.get("REPRO_BACKEND", "arrays")
 
 
 def random_collection(seed: int, *, n_docs: int = 5, cyclic: bool = False) -> Collection:
@@ -77,7 +85,7 @@ def build_pair(seed: int, *, cyclic: bool, distance: bool):
         random_collection(seed, cyclic=cyclic), backend="sets", **kwargs
     )
     arrays_index = HopiIndex.build(
-        random_collection(seed, cyclic=cyclic), backend="arrays", **kwargs
+        random_collection(seed, cyclic=cyclic), backend=BACKEND, **kwargs
     )
     return sets_index, arrays_index
 
@@ -115,7 +123,7 @@ def test_all_build_strategies_equivalent(strategy):
         random_collection(3), backend="sets", **kwargs
     )
     arrays_index = HopiIndex.build(
-        random_collection(3), backend="arrays", **kwargs
+        random_collection(3), backend=BACKEND, **kwargs
     )
     assert_equivalent(sets_index, arrays_index)
     assert sets_index.cover.size == arrays_index.cover.size

@@ -250,6 +250,22 @@ class TestServiceReads:
         assert stats["probe_cache"]["hits"] + stats["probe_cache"]["misses"] > 0
         assert stats["requests"]["query"] == 2
 
+    def test_backward_probes_hit_cache_on_second_run(self, arrays_index):
+        """Backward (ancestors-side) probes land in the per-epoch cache
+        under ``("bwd", target, step_key)`` keys, so a second
+        backward-heavy query in the same epoch reuses them instead of
+        recomputing every ancestor intersection."""
+        service = QueryService(arrays_index.copy())
+        # ``//*//cite`` seeds at the selective tail and extends backward
+        service.query("//*//cite")
+        first = service.stats()["probe_cache"]
+        assert first["misses"] > 0 and first["hits"] == 0
+        # a window clause changes the result-cache key, not the probes
+        service.query("//*//cite limit 5")
+        second = service.stats()["probe_cache"]
+        assert second["hits"] >= first["misses"]
+        assert second["misses"] == first["misses"]
+
 
 # ---------------------------------------------------------------------------
 # QueryService write path
