@@ -102,6 +102,47 @@ def run_service_suite() -> None:
     assert swap["errors"] == 0, "hot swap produced failed requests"
     assert swap["torn"] == 0, "hot swap produced torn answers"
 
+    sharded = result["sharded"]
+    print_table(
+        ["shards", "modeled rps", "p50 ms", "p99 ms", "busiest share",
+         "parity"],
+        [
+            (
+                row["shards"], round(row["modeled_rps"]),
+                round(row["p50_ms"], 3), round(row["p99_ms"], 3),
+                round(row["busiest_share"], 3),
+                "yes" if row["parity_ok"] else "NO",
+            )
+            for row in sharded["rows"]
+        ],
+        title=(
+            "Sharded scatter-gather serving "
+            f"(4-shard vs 1-shard: {round(sharded['speedup_4v1'], 2)}x, "
+            f"speedups {sharded['speedup_source']})"
+        ),
+    )
+    rswap = sharded["rolling_swap"]
+    kill = sharded["kill_one_shard"]
+    print_table(
+        ["updates", "requests", "errors", "torn", "kill reqs", "degraded",
+         "hung", "max s", "healthz"],
+        [(rswap["updates"], rswap["requests"], rswap["errors"],
+          rswap["torn"], kill["requests"], kill["degraded"], kill["hung"],
+          round(kill["max_seconds"], 3), kill["healthz_status"])],
+        title="Rolling per-shard swap + kill-one-shard failover "
+              "(errors, torn and hung must be 0)",
+    )
+    assert all(row["parity_ok"] for row in sharded["rows"]), (
+        "sharded answers diverged from single-process serving"
+    )
+    assert rswap["errors"] == 0, "rolling swap produced failed requests"
+    assert rswap["torn"] == 0, "rolling swap produced torn answers"
+    assert kill["hung"] == 0, "kill-one-shard produced a hung request"
+    assert kill["degraded"] == kill["requests"], (
+        "dead shard did not surface as structured degraded errors"
+    )
+    assert kill["healthz_status"] == "degraded"
+
 
 def run_build_suite() -> None:
     """The offline-build benchmark (appended to BENCH_build.json)."""

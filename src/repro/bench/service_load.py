@@ -356,6 +356,157 @@ def run_hot_swap_under_load(
     )
 
 
+def run_sharded_benchmark(
+    collection: Optional[Collection] = None,
+    *,
+    backend: str = "arrays",
+    shard_counts: Sequence[int] = (1, 2, 4),
+    index: Optional[HopiIndex] = None,
+) -> Dict[str, object]:
+    """The horizontally-sharded serving segment of ``BENCH_service.json``.
+
+    Three legs, mirroring the router's three claims:
+
+    * **scatter-gather throughput** at 1/2/4 shards on the cross-shard
+      query mix. Per-shard cold evaluation times are measured directly
+      against each shard client; closed-loop throughput is then
+      *modeled* as LPT bottleneck scheduling — ``|Q| / max_s Σ_q
+      t_s(q)`` — because single-CPU hosts cannot demonstrate real
+      parallel speedup (``speedup_source`` labels this). Router-level
+      answers are asserted bit-identical to a single-process
+      :class:`QueryService` at every shard count;
+    * **rolling hot swap**: the per-epoch-oracle harness
+      (:func:`run_hot_swap_under_load`) against the router — zero
+      failed and zero torn requests while generations swap in
+      shard-by-shard;
+    * **kill one shard**: an RPC router over two loopback workers, one
+      worker killed mid-run — every subsequent scatter must fail *fast*
+      with a structured :class:`ShardUnavailableError` (degraded mode),
+      never hang.
+    """
+    from repro.service.shard import ShardRouter, ShardUnavailableError
+
+    collection = collection or bench_dblp()
+    if index is None:
+        index = HopiIndex.build(collection, backend=backend)
+    paths = service_query_mix(collection)
+
+    def signature(response) -> Tuple:
+        return (
+            tuple((r.score, tuple(r.bindings)) for r in response.results),
+            response.total, response.truncated, response.epoch,
+        )
+
+    single = QueryService(index.copy())
+
+    rows: List[Dict[str, object]] = []
+    modeled_rps: Dict[int, float] = {}
+    for n_shards in shard_counts:
+        with ShardRouter(index.copy(), n_shards) as router:
+            generation = router._state.generation
+            # per-shard cold evaluation seconds, measured before any
+            # router-level call warms the shard-side result caches
+            per_shard: List[List[float]] = []
+            for shard in range(n_shards):
+                client = router._clients[shard]
+                times = []
+                for path in paths:
+                    t0 = time.perf_counter()
+                    client.request({
+                        "op": "query", "generation": generation,
+                        "path": path, "prefix": router.max_results,
+                    })
+                    times.append(time.perf_counter() - t0)
+                per_shard.append(times)
+            # LPT bottleneck model: with one shard per core, wall time
+            # for the whole mix is the busiest shard's total
+            bottleneck = max(sum(times) for times in per_shard)
+            modeled = len(paths) / bottleneck if bottleneck > 0 else 0.0
+            modeled_rps[n_shards] = modeled
+            # modeled per-request latency = slowest shard's answer
+            latencies = sorted(
+                max(per_shard[s][q] for s in range(n_shards))
+                for q in range(len(paths))
+            )
+            parity_ok = all(
+                signature(single.query(path, **kwargs))
+                == signature(router.query(path, **kwargs))
+                for path in paths
+                for kwargs in ({}, {"limit": 5, "offset": 2})
+            )
+            balance = [sum(times) for times in per_shard]
+            rows.append({
+                "shards": n_shards,
+                "modeled_rps": modeled,
+                "p50_ms": percentile(latencies, 0.50) * 1e3,
+                "p99_ms": percentile(latencies, 0.99) * 1e3,
+                "busiest_share": max(balance) / sum(balance) if sum(balance) else 0.0,
+                "parity_ok": parity_ok,
+            })
+
+    first = shard_counts[0]
+    last = shard_counts[-1]
+    speedup = (
+        modeled_rps[last] / modeled_rps[first]
+        if modeled_rps.get(first) else None
+    )
+
+    # ---- rolling hot swap: per-epoch oracle against the router ---------
+    with ShardRouter(index.copy(), max(shard_counts)) as swap_router:
+        swap = run_hot_swap_under_load(
+            swap_router, paths, threads=4, requests_per_thread=100, updates=3
+        )
+
+    # ---- kill one shard: degraded, structured, fast --------------------
+    from repro.core.rpc import start_worker_thread
+
+    s1, a1 = start_worker_thread()
+    s2, a2 = start_worker_thread()
+    kill_router = ShardRouter(
+        index.copy(), 2, workers=[a1, a2],
+        fanout_timeout=10.0, connect_attempts=1,
+    )
+    degraded = 0
+    hung = 0
+    max_seconds = 0.0
+    try:
+        kill_router.query(paths[0])  # healthy baseline
+        s2.shutdown()
+        s2.server_close()
+        kill_router._clients[1].close()  # sever pooled connections too
+        probes = paths[1:5] or paths[:1]
+        for path in probes:
+            t0 = time.perf_counter()
+            try:
+                kill_router.query(path, limit=7)  # uncached -> scatters
+            except ShardUnavailableError:
+                degraded += 1
+            elapsed = time.perf_counter() - t0
+            max_seconds = max(max_seconds, elapsed)
+            if elapsed > kill_router._fanout_timeout + 5.0:
+                hung += 1
+        health_status = kill_router.healthz()["status"]
+    finally:
+        kill_router.close()
+        s1.shutdown()
+        s1.server_close()
+
+    return {
+        "speedup_source": "modeled-lpt-single-cpu",
+        "query_mix": list(paths),
+        "rows": rows,
+        "speedup_4v1": speedup,
+        "rolling_swap": asdict(swap),
+        "kill_one_shard": {
+            "requests": len(probes),
+            "degraded": degraded,
+            "hung": hung,
+            "max_seconds": max_seconds,
+            "healthz_status": health_status,
+        },
+    }
+
+
 def run_service_benchmark(
     collection: Optional[Collection] = None,
     *,
@@ -401,6 +552,8 @@ def run_service_benchmark(
         base = by_threads[1].throughput_rps
         scaling = by_threads[4].throughput_rps / base if base > 0 else None
 
+    sharded = run_sharded_benchmark(collection, backend=backend, index=index)
+
     return {
         "collection": "DBLP",
         "backend": backend,
@@ -410,6 +563,7 @@ def run_service_benchmark(
         "throughput_scaling_4v1": scaling,
         "open_loop": asdict(open_row),
         "hot_swap": asdict(hot_swap),
+        "sharded": sharded,
     }
 
 

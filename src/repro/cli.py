@@ -39,7 +39,7 @@ import pathlib
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.hopi import HopiIndex
+from repro.core.hopi import BACKENDS, HopiIndex
 from repro.query.engine import QueryEngine
 from repro.storage.db import SQLiteCoverStore, load_index, persist_index
 from repro.xmlmodel.export import export_collection
@@ -256,21 +256,40 @@ def cmd_delete_doc(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import QueryService, make_server
+    from repro.service import QueryService, ShardRouter, make_server
 
     index = load_index(args.index, backend=args.backend)
-    service = QueryService(
-        index,
-        max_results=args.max_results,
-        similarity_threshold=args.similarity_threshold,
-        result_cache_size=args.result_cache,
-        probe_cache_size=args.probe_cache,
-    )
+    workers = None
+    if args.shard_workers:
+        workers = [a.strip() for a in args.shard_workers.split(",") if a.strip()]
+    if args.shards is not None or workers:
+        num_shards = args.shards if args.shards is not None else len(workers)
+        service = ShardRouter(
+            index,
+            num_shards,
+            workers=workers,
+            max_results=args.max_results,
+            similarity_threshold=args.similarity_threshold,
+            result_cache_size=args.result_cache,
+            probe_cache_size=args.probe_cache,
+        )
+        mode = (
+            f"shards={num_shards} ({service.executor})"
+        )
+    else:
+        service = QueryService(
+            index,
+            max_results=args.max_results,
+            similarity_threshold=args.similarity_threshold,
+            result_cache_size=args.result_cache,
+            probe_cache_size=args.probe_cache,
+        )
+        mode = "unsharded"
     server = make_server(service, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
     print(
         f"serving {args.index} on http://{host}:{port} "
-        f"(backend={index.backend}, epoch={service.epoch})",
+        f"(backend={index.backend}, epoch={service.epoch}, {mode})",
         flush=True,
     )
     try:
@@ -283,6 +302,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+        closer = getattr(service, "close", None)
+        if closer is not None:
+            closer()
     return 0
 
 
@@ -318,7 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distance", action="store_true",
                    help="build a distance-aware cover (Section 5)")
     p.add_argument("--backend", default="sets",
-                   choices=["sets", "arrays", "vector"],
+                   choices=list(BACKENDS),
                    help="label backend: dict-of-sets, interned dense ids "
                         "with sorted arrays, or sealed CSR slabs with "
                         "batch probe kernels (identical answers)")
@@ -386,7 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "include a tag (the serving tier's knob, now "
                         "settable here too)")
     p.add_argument("--backend", default=None,
-                   choices=["sets", "arrays", "vector"],
+                   choices=list(BACKENDS),
                    help="label backend to load the cover into; 'arrays' "
                         "uses the batched descendant-step hot path and "
                         "'vector' adds sealed-slab batch kernels "
@@ -410,17 +432,27 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a persisted index over HTTP — the versioned /v1 "
              "API (query count explain connected distance update "
-             "stats) plus deprecated un-versioned aliases",
+             "stats healthz) plus deprecated un-versioned aliases; "
+             "--shards N serves sharded behind a scatter-gather router",
     )
     p.add_argument("index")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080,
                    help="listening port (0 picks an ephemeral port)")
     p.add_argument("--backend", default=None,
-                   choices=["sets", "arrays", "vector"],
+                   choices=list(BACKENDS),
                    help="label backend to serve from (default: as built; "
                         "'arrays' is the fast descendant-step path, "
                         "'vector' its batch-kernel raw-speed variant)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="serve sharded: partition documents over N "
+                        "shards behind a scatter-gather router "
+                        "(answers bit-identical to unsharded serving)")
+    p.add_argument("--shard-workers", default=None,
+                   help="host:port[,host:port...] of `repro build-worker` "
+                        "daemons to host the shards (shard i lives on "
+                        "worker i %% len(workers)); default: all shards "
+                        "in-process")
     p.add_argument("--max-results", type=int, default=1000)
     p.add_argument("--similarity-threshold", type=float, default=0.3,
                    help="minimum ontology similarity for ~tag steps")

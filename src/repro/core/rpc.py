@@ -23,7 +23,15 @@ Wire protocol (all little-endian), one frame per message::
 
     frame  := opcode(1 byte) + length(uint64) + payload
     opcode := C (cover task) | J (join-shard task) | P (ping)
-              R (result)     | E (error)
+              S (shard serving op) | R (result) | E (error)
+
+``S`` frames carry the serving tier's scattered requests (install a
+shard view / query / count / connected / distance / stats / healthz —
+see :class:`repro.service.shard.ShardRegistry`), so the same worker
+daemon that builds partition covers offline also hosts query shards
+online. Malformed input (truncated or oversized frames, junk opcodes,
+unpicklable payloads) is answered with a structured ``E`` frame — the
+connection may close, but the worker keeps serving.
 
 Task and result payloads are pickled plain-data objects whose bulk is
 CSR snapshot blobs (:func:`repro.storage.snapshot.snapshot_to_bytes`)
@@ -45,6 +53,7 @@ import socket
 import socketserver
 import struct
 import threading
+import time
 from typing import Any, BinaryIO, List, Optional, Sequence, Tuple
 
 _HEADER = struct.Struct("<cQ")
@@ -52,6 +61,7 @@ _HEADER = struct.Struct("<cQ")
 OP_COVER = b"C"
 OP_JOIN = b"J"
 OP_PING = b"P"
+OP_SHARD = b"S"
 OP_RESULT = b"R"
 OP_ERROR = b"E"
 
@@ -107,15 +117,27 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
         while True:
             try:
                 opcode, payload = recv_frame(self.rfile)
-            except (EOFError, ConnectionError):
+            except EOFError:  # clean peer hang-up
+                return
+            except ConnectionError as exc:
+                # a malformed frame (truncated header/payload, oversized
+                # length prefix): answer with a structured error so the
+                # peer learns *why*, then drop the now-unsynchronisable
+                # connection — the worker itself keeps serving
+                self._send_error("ProtocolError", str(exc))
                 return
             try:
                 result = self._execute(opcode, payload)
             except Exception as exc:  # ship the failure, keep serving
-                body = pickle.dumps((type(exc).__name__, str(exc)))
-                send_frame(self.wfile, OP_ERROR, body)
+                self._send_error(type(exc).__name__, str(exc))
             else:
                 send_frame(self.wfile, OP_RESULT, pickle.dumps(result))
+
+    def _send_error(self, kind: str, message: str) -> None:
+        try:
+            send_frame(self.wfile, OP_ERROR, pickle.dumps((kind, message)))
+        except (OSError, ValueError):  # peer already gone / file closed
+            pass
 
     def _execute(self, opcode: bytes, payload: bytes) -> Any:
         from repro.core.join import _join_shard_worker
@@ -127,6 +149,8 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
             return _partition_cover_worker(pickle.loads(payload))
         if opcode == OP_JOIN:
             return _join_shard_worker(pickle.loads(payload))
+        if opcode == OP_SHARD:
+            return self.server.shard_registry().execute(pickle.loads(payload))
         raise ValueError(f"unknown opcode {opcode!r}")
 
 
@@ -138,6 +162,18 @@ class BuildWorkerServer(socketserver.ThreadingTCPServer):
 
     def __init__(self, address: Tuple[str, int]) -> None:
         super().__init__(address, _WorkerHandler)
+        self._shard_registry: Optional[Any] = None
+        self._registry_lock = threading.Lock()
+
+    def shard_registry(self):
+        """The worker's shard registry, created on first ``S`` frame
+        (lazy so the build-only path never imports the serving tier)."""
+        with self._registry_lock:
+            if self._shard_registry is None:
+                from repro.service.shard import ShardRegistry
+
+                self._shard_registry = ShardRegistry()
+            return self._shard_registry
 
 
 def serve_worker(host: str, port: int) -> BuildWorkerServer:
@@ -165,20 +201,53 @@ def start_worker_thread(host: str = "127.0.0.1", port: int = 0):
 
 
 class _WorkerConnection:
-    """One persistent connection to a build worker."""
+    """One persistent connection to a build worker.
 
-    #: seconds to wait for the TCP connect before retiring a worker —
-    #: bounded so a black-holed address cannot stall the build for the
-    #: kernel's full TCP retry window
+    Connecting retries with bounded exponential backoff: a refused
+    connection is the normal signature of a worker that is *still
+    binding its listener* (rolling restarts, CI jobs that launch the
+    daemon and the client together), so failing the first refusal
+    retired perfectly healthy workers before failover even mattered.
+    ``attempts`` caps the retries; a worker that stays unreachable
+    through the whole backoff schedule raises the last ``OSError``.
+    """
+
+    #: seconds to wait for one TCP connect attempt before giving up on
+    #: it — bounded so a black-holed address cannot stall the build for
+    #: the kernel's full TCP retry window
     CONNECT_TIMEOUT = 10.0
+    #: default connect attempts (with exponential backoff in between)
+    CONNECT_ATTEMPTS = 3
+    #: first backoff sleep in seconds (doubles per retry)
+    CONNECT_BACKOFF = 0.1
 
-    def __init__(self, address: str) -> None:
+    def __init__(
+        self,
+        address: str,
+        *,
+        attempts: Optional[int] = None,
+        backoff: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
         self.address = address
         host, port = parse_address(address)
-        self._sock = socket.create_connection(
-            (host, port), timeout=self.CONNECT_TIMEOUT
-        )
-        self._sock.settimeout(None)  # tasks may legitimately run long
+        attempts = self.CONNECT_ATTEMPTS if attempts is None else max(1, attempts)
+        delay = self.CONNECT_BACKOFF if backoff is None else backoff
+        for attempt in range(attempts):
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=self.CONNECT_TIMEOUT
+                )
+                break
+            except OSError:
+                if attempt + 1 == attempts:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+        # ``timeout`` bounds every subsequent send/recv (the serving
+        # tier's fan-out deadline); ``None`` keeps the build behaviour —
+        # tasks may legitimately run long
+        self._sock.settimeout(timeout)
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
 
@@ -318,7 +387,11 @@ class RpcExecutor:
             # a puller still blocked connecting to a black-holed address
             # is abandoned (daemon; connect is bounded anyway) — results
             # are complete once `finished` is set
-            t.join(timeout=_WorkerConnection.CONNECT_TIMEOUT + 5.0)
+            t.join(
+                timeout=_WorkerConnection.CONNECT_ATTEMPTS
+                * (_WorkerConnection.CONNECT_TIMEOUT + 1.0)
+                + 5.0
+            )
         if failure:
             raise failure[0]
         return results

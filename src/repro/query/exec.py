@@ -65,12 +65,19 @@ class ExecContext:
         probe: optional forward-probe substitute (the serving tier's
             per-epoch coalescing cache); ``None`` probes the index
             directly.
+        first_filter: optional predicate over the element bound at
+            step position 0. When given, only bindings whose *first*
+            element passes are produced — the shard serving tier uses
+            this to restrict a query to the tuples a shard owns
+            (ownership is decided by the first binding's document)
+            without post-filtering a full evaluation.
     """
 
-    def __init__(self, engine, index, probe=None) -> None:
+    def __init__(self, engine, index, probe=None, first_filter=None) -> None:
         self.engine = engine
         self.index = index
         self.probe = probe
+        self.first_filter = first_filter
         self.elements = engine.collection.elements
         self._forward: Dict[Tuple[ElementId, Tuple[str, bool]], List[int]] = {}
         self._backward: Dict[Tuple[ElementId, Tuple[str, bool]], List[ElementId]] = {}
@@ -211,8 +218,11 @@ def _scan(ctx: ExecContext, plan: PhysicalPlan, position: int) -> Iterator[Bindi
     step = plan.expr.steps[position]
     filters = plan.filters_at(position)
     anchored = position == 0 and step.axis == "child"
+    first = ctx.first_filter if position == 0 else None
     for element, _score in ctx.engine._candidates(step):
         if anchored and not ctx.anchor_ok(element):
+            continue
+        if first is not None and not first(element):
             continue
         if ctx.filters_ok(element, filters):
             yield (element,)
@@ -267,6 +277,7 @@ def _extend_backward(
     step = steps[position]
     filters = plan.filters_at(position)
     anchored = position == 0 and step.axis == "child"
+    first = ctx.first_filter if position == 0 else None
     if edge_axis == "child":
         cmap = ctx.engine._candidate_map(step)
         for partial in stream:
@@ -274,6 +285,8 @@ def _extend_backward(
             if parent is None or parent not in cmap:
                 continue
             if anchored and not ctx.anchor_ok(parent):
+                continue
+            if first is not None and not first(parent):
                 continue
             if ctx.filters_ok(parent, filters):
                 yield (parent,) + partial
@@ -284,6 +297,8 @@ def _extend_backward(
                 if element == head:
                     continue
                 if anchored and not ctx.anchor_ok(element):
+                    continue
+                if first is not None and not first(element):
                     continue
                 if ctx.filters_ok(element, filters):
                     yield (element,) + partial
@@ -346,6 +361,7 @@ def run_count(plan: PhysicalPlan, ctx: ExecContext) -> int:
         if backward:
             edge_axis = steps[position + 1].axis
             anchored = position == 0 and step.axis == "child"
+            first = ctx.first_filter if position == 0 else None
             if edge_axis == "child":
                 cmap = ctx.engine._candidate_map(step)
                 for element, multiplicity in frontier.items():
@@ -353,6 +369,8 @@ def run_count(plan: PhysicalPlan, ctx: ExecContext) -> int:
                     if parent is None or parent not in cmap:
                         continue
                     if anchored and not ctx.anchor_ok(parent):
+                        continue
+                    if first is not None and not first(parent):
                         continue
                     if ctx.filters_ok(parent, filters):
                         grown[parent] = grown.get(parent, 0) + multiplicity
@@ -362,6 +380,8 @@ def run_count(plan: PhysicalPlan, ctx: ExecContext) -> int:
                         if ancestor == element:
                             continue
                         if anchored and not ctx.anchor_ok(ancestor):
+                            continue
+                        if first is not None and not first(ancestor):
                             continue
                         if ctx.filters_ok(ancestor, filters):
                             grown[ancestor] = (

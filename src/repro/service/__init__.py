@@ -16,7 +16,14 @@ index:
   with zero reader downtime and no torn answers;
 * :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` front
   end (``/query``, ``/count``, ``/connected``, ``/distance``,
-  ``/update``, ``/stats``), wired into the CLI as ``repro serve``.
+  ``/update``, ``/stats``, ``/healthz``), wired into the CLI as
+  ``repro serve``;
+* :mod:`repro.service.shard` — horizontally sharded serving: a
+  :class:`~repro.service.shard.ShardRouter` scatter-gathers every
+  ``/v1`` request over per-shard :class:`QueryService`\\ s (in-process
+  or on ``repro build-worker`` daemons via the rpc ``S`` frames) with
+  bit-identical answers, MVCC-generation rolling hot-swap and an
+  explicit degraded mode — ``repro serve --shards N``.
 
 ``repro.bench.service_load`` drives this tier under closed- and
 open-loop load and records the ``BENCH_service.json`` trajectory.
@@ -27,6 +34,14 @@ from repro.service.coalesce import CoalescingCache
 from repro.service.epoch import EpochHolder, EpochState
 from repro.service.http import ServiceHTTPServer, make_server
 from repro.service.service import QueryResponse, QueryService, UpdateError
+from repro.service.shard import (
+    ShardRegistry,
+    ShardRouter,
+    ShardService,
+    ShardUnavailableError,
+    derive_shard_views,
+    shard_of,
+)
 
 __all__ = [
     "LRUCache",
@@ -38,4 +53,10 @@ __all__ = [
     "QueryService",
     "QueryResponse",
     "UpdateError",
+    "ShardRegistry",
+    "ShardRouter",
+    "ShardService",
+    "ShardUnavailableError",
+    "derive_shard_views",
+    "shard_of",
 ]

@@ -28,7 +28,18 @@ The API is versioned under ``/v1`` (all JSON):
                                maintenance batch + hot swap (see
                                ``QueryService.update``)
 ``GET /v1/stats``              service counters, cache stats, epoch
+``GET /v1/healthz``            liveness/readiness: epoch age, and —
+                               when serving sharded — per-shard
+                               reachability; 200 when ``status`` is
+                               ``ok``, 503 when ``degraded``
 =============================  ============================================
+
+When the server fronts a :class:`~repro.service.shard.ShardRouter`, a
+request that cannot be answered because a shard is unreachable gets a
+structured **503**::
+
+    {"error": {"code": "shard_unavailable", "message": "..."},
+     "degraded": true, "shards_down": [...]}
 
 ``/v1`` errors are structured objects::
 
@@ -58,12 +69,14 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.query.pathexpr import PathSyntaxError
 from repro.service.service import QueryService, UpdateError
+from repro.service.shard import ShardUnavailableError
 
 JSON = "application/json"
 
 #: endpoints served under ``/v1/<name>``
 V1_ROUTES = frozenset(
-    {"query", "count", "explain", "connected", "distance", "update", "stats"}
+    {"query", "count", "explain", "connected", "distance", "update",
+     "stats", "healthz"}
 )
 #: endpoints also served un-versioned, as deprecated aliases
 LEGACY_ROUTES = frozenset(
@@ -164,6 +177,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self.service.note_legacy_hit(name)
         try:
             status, payload = handler(params, body, v1)
+        except ShardUnavailableError as exc:
+            # a dead/unreachable shard degrades the request explicitly
+            # (structured 503) — the contract is "never a hang"
+            self._send_json(503, {
+                "error": {"code": "shard_unavailable", "message": str(exc)},
+                "degraded": True,
+                "shards_down": exc.shards,
+            })
         except (UpdateError, PathSyntaxError, KeyError, TypeError, ValueError) as exc:
             self._send_error(400, "bad_request", str(exc), v1=v1)
         except Exception as exc:  # pragma: no cover - defensive
@@ -295,6 +316,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_stats(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
         return 200, self.service.stats()
+
+    def _handle_healthz(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        payload = self.service.healthz()
+        return (200 if payload.get("status") == "ok" else 503), payload
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

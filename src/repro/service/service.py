@@ -51,6 +51,86 @@ class UpdateError(ValueError):
 _MISSING = object()
 
 
+def apply_update_op(shadow: HopiIndex, op: Dict[str, Any]) -> Dict[str, Any]:
+    """Apply one ``/update`` wire-format operation to ``shadow``.
+
+    Module-level so every writer that maintains a shadow index speaks
+    the same op vocabulary — :meth:`QueryService.update` and the shard
+    router's generation builder both delegate here. Raises
+    :class:`UpdateError` (or the plain ``KeyError``/``ValueError``/...
+    family for malformed shapes, which callers wrap)."""
+    if not isinstance(op, dict) or "op" not in op:
+        raise UpdateError(f"operation must be a dict with an 'op' key: {op!r}")
+    kind = op["op"]
+    if kind == "insert_element":
+        eid = shadow.insert_element(int(op["parent"]), str(op["tag"]))
+        return {"op": kind, "element": eid}
+    if kind in ("insert_edge", "insert_link"):
+        report = shadow.insert_edge(int(op["source"]), int(op["target"]))
+        return {"op": kind, **asdict(report)}
+    if kind in ("delete_edge", "delete_link"):
+        report = shadow.delete_edge(int(op["source"]), int(op["target"]))
+        return {"op": kind, **asdict(report)}
+    if kind == "delete_document":
+        doc_id = str(op["doc_id"])
+        if doc_id not in shadow.collection.documents:
+            raise UpdateError(f"no document {doc_id!r}")
+        report = shadow.delete_document(doc_id)
+        return {"op": kind, **asdict(report)}
+    if kind == "insert_document":
+        return _apply_insert_document(shadow, op)
+    if kind == "rebuild":
+        kwargs = {k: v for k, v in op.items() if k != "op"}
+        shadow.rebuild(**kwargs)
+        return {"op": kind, "cover_size": shadow.cover.size}
+    raise UpdateError(f"unknown operation {kind!r}")
+
+
+def _apply_insert_document(
+    shadow: HopiIndex, op: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Create a document in the shadow collection, then integrate it
+    with Section 6.1's new-partition rule."""
+    doc_id = str(op["doc_id"])
+    if doc_id in shadow.collection.documents:
+        raise UpdateError(f"document {doc_id!r} already exists")
+    root = shadow.collection.new_document(
+        doc_id, str(op.get("root_tag", "root"))
+    )
+    refs: Dict[str, ElementId] = {"root": root.eid}
+
+    def resolve(endpoint: Union[str, int]) -> ElementId:
+        if isinstance(endpoint, str):
+            if endpoint not in refs:
+                raise UpdateError(f"unknown element ref {endpoint!r}")
+            return refs[endpoint]
+        return int(endpoint)
+
+    for child in op.get("children", ()):
+        parent = resolve(child.get("parent", "root"))
+        if (
+            parent not in shadow.collection.elements
+            or shadow.collection.elements[parent].doc != doc_id
+        ):
+            # a child attached to another document would be added to
+            # the collection but never integrated into the cover by
+            # insert_document below — reject instead of corrupting
+            raise UpdateError(
+                f"child parent {parent!r} is not an element of the new "
+                f"document {doc_id!r}; connect to other documents via "
+                "'links'"
+            )
+        e = shadow.collection.add_child(parent, str(child["tag"]))
+        if "ref" in child:
+            refs[str(child["ref"])] = e.eid
+    # the new document's elements exist only in the collection so
+    # far; insert_document builds its local cover and unions it in
+    for source, target in op.get("links", ()):
+        shadow.collection.add_link(resolve(source), resolve(target))
+    report = shadow.insert_document(doc_id)
+    return {"op": "insert_document", "elements": refs, **asdict(report)}
+
+
 class _EpochProbe:
     """The coalescing descendant-probe of one epoch.
 
@@ -202,6 +282,7 @@ class QueryService:
         self._counter_lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._started = time.time()
+        self._published_at = self._started
 
     # ------------------------------------------------------------------
     # epoch plumbing
@@ -358,6 +439,7 @@ class QueryService:
     def _publish(self, shadow: HopiIndex) -> EpochState:
         state = self._make_state(shadow.epoch, shadow)
         self._holder.publish(state)
+        self._published_at = time.time()
         return state
 
     def apply(self, mutator: Callable[[HopiIndex], Any]) -> Tuple[int, Any]:
@@ -422,75 +504,7 @@ class QueryService:
         return {"epoch": epoch, "applied": len(reports), "reports": reports}
 
     def _apply_op(self, shadow: HopiIndex, op: Dict[str, Any]) -> Dict[str, Any]:
-        if not isinstance(op, dict) or "op" not in op:
-            raise UpdateError(f"operation must be a dict with an 'op' key: {op!r}")
-        kind = op["op"]
-        if kind == "insert_element":
-            eid = shadow.insert_element(int(op["parent"]), str(op["tag"]))
-            return {"op": kind, "element": eid}
-        if kind in ("insert_edge", "insert_link"):
-            report = shadow.insert_edge(int(op["source"]), int(op["target"]))
-            return {"op": kind, **asdict(report)}
-        if kind in ("delete_edge", "delete_link"):
-            report = shadow.delete_edge(int(op["source"]), int(op["target"]))
-            return {"op": kind, **asdict(report)}
-        if kind == "delete_document":
-            doc_id = str(op["doc_id"])
-            if doc_id not in shadow.collection.documents:
-                raise UpdateError(f"no document {doc_id!r}")
-            report = shadow.delete_document(doc_id)
-            return {"op": kind, **asdict(report)}
-        if kind == "insert_document":
-            return self._apply_insert_document(shadow, op)
-        if kind == "rebuild":
-            kwargs = {k: v for k, v in op.items() if k != "op"}
-            shadow.rebuild(**kwargs)
-            return {"op": kind, "cover_size": shadow.cover.size}
-        raise UpdateError(f"unknown operation {kind!r}")
-
-    def _apply_insert_document(
-        self, shadow: HopiIndex, op: Dict[str, Any]
-    ) -> Dict[str, Any]:
-        """Create a document in the shadow collection, then integrate it
-        with Section 6.1's new-partition rule."""
-        doc_id = str(op["doc_id"])
-        if doc_id in shadow.collection.documents:
-            raise UpdateError(f"document {doc_id!r} already exists")
-        root = shadow.collection.new_document(
-            doc_id, str(op.get("root_tag", "root"))
-        )
-        refs: Dict[str, ElementId] = {"root": root.eid}
-
-        def resolve(endpoint: Union[str, int]) -> ElementId:
-            if isinstance(endpoint, str):
-                if endpoint not in refs:
-                    raise UpdateError(f"unknown element ref {endpoint!r}")
-                return refs[endpoint]
-            return int(endpoint)
-
-        for child in op.get("children", ()):
-            parent = resolve(child.get("parent", "root"))
-            if (
-                parent not in shadow.collection.elements
-                or shadow.collection.elements[parent].doc != doc_id
-            ):
-                # a child attached to another document would be added to
-                # the collection but never integrated into the cover by
-                # insert_document below — reject instead of corrupting
-                raise UpdateError(
-                    f"child parent {parent!r} is not an element of the new "
-                    f"document {doc_id!r}; connect to other documents via "
-                    "'links'"
-                )
-            e = shadow.collection.add_child(parent, str(child["tag"]))
-            if "ref" in child:
-                refs[str(child["ref"])] = e.eid
-        # the new document's elements exist only in the collection so
-        # far; insert_document builds its local cover and unions it in
-        for source, target in op.get("links", ()):
-            shadow.collection.add_link(resolve(source), resolve(target))
-        report = shadow.insert_document(doc_id)
-        return {"op": "insert_document", "elements": refs, **asdict(report)}
+        return apply_update_op(shadow, op)
 
     def reload_cover(self, snapshot) -> int:
         """Hot-swap the cover from a CSR snapshot, keeping the
@@ -539,6 +553,25 @@ class QueryService:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness/readiness payload for ``/v1/healthz``.
+
+        A single-process service that can read its published epoch is
+        both live and ready; ``epoch_age_seconds`` (time since the last
+        hot-swap, or since startup) lets a load balancer spot a replica
+        whose maintenance feed has stalled.
+        """
+        state = self._holder.current
+        return {
+            "status": "ok",
+            "ready": True,
+            "sharded": False,
+            "epoch": state.epoch,
+            "epoch_age_seconds": time.time() - self._published_at,
+            "uptime_seconds": time.time() - self._started,
+            "swaps": self._holder.swaps,
+        }
+
     def stats(self) -> Dict[str, Any]:
         """A point-in-time snapshot for the ``/stats`` endpoint."""
         state = self._holder.current

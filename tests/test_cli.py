@@ -58,11 +58,26 @@ def test_build_backend_arrays(corpus, tmp_path, capsys):
 
 
 def test_backend_flag_in_help(capsys):
-    for sub in ("build", "query"):
+    for sub in ("build", "query", "serve"):
         with pytest.raises(SystemExit):
             main([sub, "--help"])
         out = capsys.readouterr().out
         assert "--backend {sets,arrays,vector}" in out
+
+
+def test_serve_rejects_unknown_backend(index_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", str(index_path), "--backend", "bogus"])
+    err = capsys.readouterr().err
+    assert "invalid choice: 'bogus'" in err
+
+
+def test_serve_shard_flags_in_help(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--help"])
+    out = capsys.readouterr().out
+    assert "--shards" in out
+    assert "--shard-workers" in out
 
 
 def test_query_backends_agree(index_path, capsys):

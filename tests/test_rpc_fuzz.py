@@ -1,0 +1,174 @@
+"""Fuzzing the RPC wire protocol: malformed frames must never wedge a worker.
+
+The worker's contract (``repro/core/rpc.py``) is that any malformed input
+— truncated header, truncated payload, a length prefix above
+``MAX_FRAME``, junk opcodes, unpicklable payloads — yields either a
+structured ``E`` error frame or a clean connection close, **never** a
+hung handler or a crashed server. After every malformed exchange a fresh
+connection must still get ``pong``.
+"""
+
+import pickle
+import socket
+import struct
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rpc import (
+    MAX_FRAME,
+    OP_ERROR,
+    OP_PING,
+    OP_RESULT,
+    _HEADER,
+    _WorkerConnection,
+    recv_frame,
+    send_frame,
+    start_worker_thread,
+)
+
+SOCKET_TIMEOUT = 5.0
+
+
+@pytest.fixture(scope="module")
+def worker():
+    server, address = start_worker_thread()
+    yield address
+    server.shutdown()
+    server.server_close()
+
+
+def _connect(address):
+    host, port = address.rsplit(":", 1)
+    sock = socket.create_connection((host, int(port)), timeout=SOCKET_TIMEOUT)
+    return sock
+
+
+def _exchange_raw(address, data, *, half_close=False):
+    """Ship raw bytes, return (kind, payload) where kind is 'error',
+    'result', or 'closed'. A socket timeout means the worker hung —
+    that's the bug this fuzz exists to catch, so it raises."""
+    sock = _connect(address)
+    try:
+        sock.sendall(data)
+        if half_close:
+            sock.shutdown(socket.SHUT_WR)
+        rfile = sock.makefile("rb")
+        try:
+            opcode, payload = recv_frame(rfile)
+        except (EOFError, ConnectionError):
+            return ("closed", None)
+        if opcode == OP_ERROR:
+            return ("error", pickle.loads(payload))
+        if opcode == OP_RESULT:
+            return ("result", pickle.loads(payload))
+        return ("frame", opcode)
+    finally:
+        sock.close()
+
+
+def _assert_still_alive(address):
+    sock = _connect(address)
+    try:
+        wfile = sock.makefile("wb")
+        send_frame(wfile, OP_PING, pickle.dumps(None))
+        wfile.flush()
+        opcode, payload = recv_frame(sock.makefile("rb"))
+        assert opcode == OP_RESULT
+        assert pickle.loads(payload) == "pong"
+    finally:
+        sock.close()
+
+
+@settings(deadline=None, max_examples=30)
+@given(junk=st.binary(min_size=0, max_size=64))
+def test_truncated_junk_never_hangs_worker(worker, junk):
+    """Arbitrary bytes followed by half-close: the worker must answer
+    with an error frame or close cleanly, then keep serving pings."""
+    kind, detail = _exchange_raw(worker, junk, half_close=True)
+    assert kind in ("error", "closed", "result")
+    if kind == "error":
+        assert detail[0] in ("ProtocolError", "ValueError", "UnpicklingError",
+                             "EOFError", "KeyError", "AttributeError")
+    _assert_still_alive(worker)
+
+
+@settings(deadline=None, max_examples=20)
+@given(opcode=st.binary(min_size=1, max_size=1),
+       payload=st.binary(min_size=0, max_size=128))
+def test_junk_opcode_with_valid_header(worker, opcode, payload):
+    """A well-formed frame with an arbitrary opcode/payload: unknown
+    opcodes and unpicklable payloads become structured errors."""
+    data = _HEADER.pack(opcode, len(payload)) + payload
+    kind, detail = _exchange_raw(worker, data, half_close=True)
+    assert kind in ("error", "result", "closed")
+    _assert_still_alive(worker)
+
+
+def test_oversized_length_prefix_is_rejected(worker):
+    data = _HEADER.pack(b"P", MAX_FRAME + 1)
+    kind, detail = _exchange_raw(worker, data, half_close=True)
+    assert kind == "error"
+    assert detail[0] == "ProtocolError"
+    _assert_still_alive(worker)
+
+
+def test_truncated_payload_is_rejected(worker):
+    data = _HEADER.pack(b"P", 1000) + b"only-a-little"
+    kind, detail = _exchange_raw(worker, data, half_close=True)
+    assert kind == "error"
+    assert detail[0] == "ProtocolError"
+    _assert_still_alive(worker)
+
+
+def test_truncated_header_closes_cleanly(worker):
+    kind, _ = _exchange_raw(worker, _HEADER.pack(b"P", 4)[:3],
+                            half_close=True)
+    assert kind in ("error", "closed")
+    _assert_still_alive(worker)
+
+
+# ---------------------------------------------------------------------------
+# client-side: bounded retry with backoff on transient connect failures
+# ---------------------------------------------------------------------------
+
+
+def _reserve_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def test_client_retries_until_late_binding_listener_appears():
+    port = _reserve_port()
+    address = f"127.0.0.1:{port}"
+    holder = {}
+
+    def bind_late():
+        time.sleep(0.3)
+        holder["server"], _ = start_worker_thread(port=port)
+
+    thread = threading.Thread(target=bind_late)
+    thread.start()
+    try:
+        conn = _WorkerConnection(address, attempts=8, backoff=0.1)
+        assert conn.call(OP_PING, None) == "pong"
+        conn.close()
+    finally:
+        thread.join()
+        holder["server"].shutdown()
+        holder["server"].server_close()
+
+
+def test_client_gives_up_after_capped_attempts():
+    port = _reserve_port()  # nothing will ever listen here
+    start = time.monotonic()
+    with pytest.raises(OSError):
+        _WorkerConnection(f"127.0.0.1:{port}", attempts=2, backoff=0.05)
+    # 2 attempts, one 0.05s backoff in between: fast, bounded failure
+    assert time.monotonic() - start < 5.0
