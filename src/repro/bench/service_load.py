@@ -20,7 +20,13 @@ records the serving-tier trajectory:
 * **hot swap under load**: ``/update`` batches hot-swap the index while
   sustained querying runs; the run fails any request error and any
   torn answer (two different result sets observed for one
-  ``(path, epoch)``).
+  ``(path, epoch)``);
+* **async front end** (end-to-end HTTP): a ``tail`` segment — 16
+  closed-loop clients on an all-cold-miss mix against the asyncio
+  front end, gated on p99 ≤ 100x p50 — and an ``overload`` segment —
+  an open-loop burst beyond capacity whose excess arrivals must come
+  back as structured 429s (zero hangs, zero unstructured errors), with
+  the ``/v1/metrics`` shed counters recorded alongside.
 """
 
 from __future__ import annotations
@@ -507,6 +513,98 @@ def run_sharded_benchmark(
     }
 
 
+def run_async_front_end_benchmark(
+    index: HopiIndex,
+    *,
+    tail_clients: int = 16,
+    tail_requests_per_client: int = 8,
+    overload_rate: float = 300.0,
+    overload_duration: float = 1.0,
+) -> Dict[str, object]:
+    """The asyncio front end under tail and overload workloads.
+
+    Measured end to end over real HTTP (socket to socket), unlike the
+    in-process rows — this is the segment the ROADMAP tail gate reads:
+
+    * **tail**: ``tail_clients`` closed-loop clients over an
+      all-cold-miss mix (every request a distinct plan, so p50 and p99
+      measure the same code path); the gate is p99 within 100x of p50.
+    * **overload**: an open-loop burst far beyond capacity against a
+      deliberately small admission window; the contract is zero hangs
+      and zero unstructured errors — excess arrivals become structured
+      429s, visible as ``shed`` — plus the ``/v1/metrics`` counters
+      recorded right after the burst.
+    """
+    from repro.bench.faults import (
+        closed_loop_clients,
+        cold_miss_paths,
+        open_loop_burst,
+    )
+    from repro.service.asyncio_http import start_in_thread
+
+    def quoted(paths: List[str]) -> List[str]:
+        return [
+            "/v1/query?path=" + p.replace("[", "%5B").replace("]", "%5D")
+            for p in paths
+        ]
+
+    # -- tail: 16 closed-loop clients, all cold misses ------------------
+    tail_service = QueryService(index.copy())
+    n_paths = min(500, tail_clients * tail_requests_per_client)
+    tail_paths = quoted(cold_miss_paths(n_paths, seed=11))
+    with start_in_thread(tail_service, max_inflight=8) as handle:
+        host, port = handle.address
+        outcomes = closed_loop_clients(
+            host, port, tail_paths,
+            n_clients=tail_clients,
+            requests_per_client=tail_requests_per_client,
+        )
+    latencies = sorted(
+        o.elapsed for o in outcomes if o.status == 200
+    )
+    errors = sum(1 for o in outcomes if o.status != 200)
+    p50 = percentile(latencies, 0.50)
+    p99 = percentile(latencies, 0.99)
+    tail = {
+        "clients": tail_clients,
+        "requests": len(outcomes),
+        "errors": errors,
+        "p50_ms": p50 * 1e3,
+        "p95_ms": percentile(latencies, 0.95) * 1e3,
+        "p99_ms": p99 * 1e3,
+        "ratio_p99_p50": (p99 / p50) if p50 > 0 else None,
+    }
+
+    # -- overload: open-loop burst into a small admission window --------
+    overload_service = QueryService(index.copy())
+    burst_paths = quoted(cold_miss_paths(64, seed=5))
+    with start_in_thread(
+        overload_service, max_inflight=2, queue_depth=4
+    ) as handle:
+        host, port = handle.address
+        report = open_loop_burst(
+            host, port, burst_paths,
+            rate=overload_rate, duration=overload_duration, timeout=30.0,
+        )
+        import json as _json
+        import urllib.request as _request
+
+        with _request.urlopen(
+            handle.base_url + "/v1/metrics", timeout=10
+        ) as resp:
+            metrics = _json.loads(resp.read())
+    overload = report.summary()
+    overload.update(
+        offered_rps=overload_rate,
+        duration_s=overload_duration,
+        max_inflight=2,
+        queue_depth=4,
+        metrics_shed=metrics["shed"],
+        metrics_gauges=metrics["gauges"],
+    )
+    return {"tail": tail, "overload": overload}
+
+
 def run_service_benchmark(
     collection: Optional[Collection] = None,
     *,
@@ -554,6 +652,8 @@ def run_service_benchmark(
 
     sharded = run_sharded_benchmark(collection, backend=backend, index=index)
 
+    async_front_end = run_async_front_end_benchmark(index)
+
     return {
         "collection": "DBLP",
         "backend": backend,
@@ -564,6 +664,7 @@ def run_service_benchmark(
         "open_loop": asdict(open_row),
         "hot_swap": asdict(hot_swap),
         "sharded": sharded,
+        "async_front_end": async_front_end,
     }
 
 

@@ -285,6 +285,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
             probe_cache_size=args.probe_cache,
         )
         mode = "unsharded"
+    if args.use_async:
+        from repro.service.asyncio_http import AsyncServiceServer
+
+        import asyncio
+
+        server = AsyncServiceServer(
+            service,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            verbose=args.verbose,
+            max_requests=args.max_requests,
+        )
+
+        async def _serve() -> None:
+            host, port = await server.start(args.host, args.port)
+            print(
+                f"serving {args.index} on http://{host}:{port} "
+                f"(backend={index.backend}, epoch={service.epoch}, {mode}, "
+                f"async max_inflight={args.max_inflight} "
+                f"queue_depth={args.queue_depth})",
+                flush=True,
+            )
+            await server.wait_closed()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            closer = getattr(service, "close", None)
+            if closer is not None:
+                closer()
+        return 0
     server = make_server(service, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
     print(
@@ -432,8 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a persisted index over HTTP — the versioned /v1 "
              "API (query count explain connected distance update "
-             "stats healthz) plus deprecated un-versioned aliases; "
-             "--shards N serves sharded behind a scatter-gather router",
+             "stats healthz metrics) plus deprecated un-versioned "
+             "aliases; --shards N serves sharded behind a "
+             "scatter-gather router; --async serves on the asyncio "
+             "front end with admission control",
     )
     p.add_argument("index")
     p.add_argument("--host", default="127.0.0.1")
@@ -462,6 +497,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-epoch descendant-probe LRU entries")
     p.add_argument("--max-requests", type=int, default=None,
                    help="exit after accepting N connections (smoke tests/CI)")
+    p.add_argument("--async", dest="use_async", action="store_true",
+                   help="serve on the asyncio front end: bounded worker "
+                        "pool + admission control — overload answers a "
+                        "structured 429 instead of queueing unboundedly")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="async front end: worker threads evaluating "
+                        "requests concurrently (default 8)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="async front end: admitted requests allowed to "
+                        "wait for a worker slot before new arrivals are "
+                        "shed with 429 (default 64)")
     p.add_argument("--verbose", action="store_true",
                    help="log one line per request")
     p.set_defaults(func=cmd_serve)

@@ -14,10 +14,18 @@ index:
   mutate a deep-copied *shadow* index while readers keep answering on
   the published epoch; an atomic reference swap publishes the shadow
   with zero reader downtime and no torn answers;
+* :mod:`repro.service.api` — the transport-neutral ``/v1`` endpoint
+  core (routing, handlers, error mapping) shared by every front end,
+  so their responses are bit-identical by construction;
 * :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` front
   end (``/query``, ``/count``, ``/connected``, ``/distance``,
-  ``/update``, ``/stats``, ``/healthz``), wired into the CLI as
-  ``repro serve``;
+  ``/update``, ``/stats``, ``/healthz``, ``/metrics``), wired into the
+  CLI as ``repro serve``;
+* :mod:`repro.service.asyncio_http` — the asyncio front end with
+  admission control (bounded worker pool + pending queue, structured
+  429/503 shedding, per-endpoint deadlines) — ``repro serve --async``;
+* :mod:`repro.service.telemetry` — counters, per-endpoint latency
+  histograms and live gauges behind ``/v1/metrics``;
 * :mod:`repro.service.shard` — horizontally sharded serving: a
   :class:`~repro.service.shard.ShardRouter` scatter-gathers every
   ``/v1`` request over per-shard :class:`QueryService`\\ s (in-process
@@ -29,10 +37,17 @@ index:
 open-loop load and records the ``BENCH_service.json`` trajectory.
 """
 
+from repro.service.api import ServiceAPI, error_payload
+from repro.service.asyncio_http import (
+    AsyncServerHandle,
+    AsyncServiceServer,
+    start_in_thread,
+)
 from repro.service.cache import LRUCache
 from repro.service.coalesce import CoalescingCache
 from repro.service.epoch import EpochHolder, EpochState
 from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.telemetry import Telemetry
 from repro.service.service import QueryResponse, QueryService, UpdateError
 from repro.service.shard import (
     ShardRegistry,
@@ -44,12 +59,18 @@ from repro.service.shard import (
 )
 
 __all__ = [
+    "AsyncServerHandle",
+    "AsyncServiceServer",
     "LRUCache",
     "CoalescingCache",
     "EpochHolder",
     "EpochState",
+    "ServiceAPI",
     "ServiceHTTPServer",
+    "Telemetry",
+    "error_payload",
     "make_server",
+    "start_in_thread",
     "QueryService",
     "QueryResponse",
     "UpdateError",

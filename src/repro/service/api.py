@@ -1,0 +1,289 @@
+"""Transport-neutral ``/v1`` endpoint core shared by every front end.
+
+The threaded (:mod:`repro.service.http`) and asyncio
+(:mod:`repro.service.asyncio_http`) front ends answer requests
+**bit-identically** because neither implements an endpoint itself:
+both hand ``(url path, query params, decoded JSON body)`` to one
+:class:`ServiceAPI` and write out whatever ``(status, payload)`` it
+returns. Everything observable — response fields, error codes and
+messages, pagination arithmetic, the legacy-alias flat shapes, the
+``deprecated`` marker — lives here, once. A front end owns only its
+transport: socket handling, HTTP parsing, concurrency, and admission
+control.
+
+Routing contract (see :mod:`repro.service.http` for the endpoint
+table): ``/v1/<name>`` for ``name`` in :data:`V1_ROUTES`, un-versioned
+``/<name>`` as deprecated aliases for :data:`LEGACY_ROUTES`. To add an
+endpoint, write a ``_handle_<name>`` method returning ``(status,
+payload)`` and list it in :data:`V1_ROUTES` — both front ends pick it
+up with no further wiring.
+
+``dispatch`` also feeds the shared
+:class:`~repro.service.telemetry.Telemetry` instance (per-endpoint
+latency histograms + status counters), which the ``/v1/metrics``
+endpoint reports back out together with the service's cache hit rates
+and epoch age.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.query.pathexpr import PathSyntaxError
+from repro.service.service import QueryService, UpdateError
+from repro.service.shard import ShardUnavailableError
+from repro.service.telemetry import Telemetry
+
+#: endpoints served under ``/v1/<name>``
+V1_ROUTES = frozenset(
+    {"query", "count", "explain", "connected", "distance", "update",
+     "stats", "healthz", "metrics"}
+)
+#: endpoints also served un-versioned, as deprecated aliases
+LEGACY_ROUTES = frozenset(
+    {"query", "count", "connected", "distance", "update", "stats"}
+)
+#: control-plane endpoints: cheap, read-only, and required to stay
+#: responsive under overload — front ends with admission control must
+#: never queue or shed these
+CONTROL_ROUTES = frozenset({"healthz", "metrics"})
+
+
+def error_payload(code: str, message: str, *, v1: bool) -> Dict[str, Any]:
+    """The error body: structured ``{"error": {code, message}}`` on
+    /v1, the legacy flat ``{"error": message}`` on deprecated aliases."""
+    if v1:
+        return {"error": {"code": code, "message": message}}
+    return {"error": message, "deprecated": True}
+
+
+def route(path: str) -> Tuple[Optional[str], bool]:
+    """Resolve a URL path to ``(endpoint name, is_v1)``."""
+    if path.startswith("/v1/"):
+        name = path[len("/v1/"):]
+        return (name if name in V1_ROUTES else None), True
+    name = path.lstrip("/")
+    return (name if name in LEGACY_ROUTES else None), False
+
+
+class ServiceAPI:
+    """Every ``/v1`` endpoint of one service, as plain method calls.
+
+    ``service`` is anything with the :class:`QueryService` surface
+    (including :class:`~repro.service.shard.ShardRouter`, which
+    duck-types it); ``telemetry`` is shared with the enclosing front
+    end so admission-control gauges and request histograms land in one
+    ``/v1/metrics`` payload.
+    """
+
+    def __init__(
+        self, service: QueryService, *, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        self.service = service
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    # -- parameter plumbing ---------------------------------------------
+    def _param(self, params: Dict[str, list], name: str) -> str:
+        values = params.get(name)
+        if not values:
+            raise UpdateError(f"missing query parameter {name!r}")
+        return values[0]
+
+    def _int_param(
+        self,
+        params: Dict[str, list],
+        name: str,
+        *,
+        minimum: Optional[int] = None,
+    ) -> int:
+        """A validated integer query parameter.
+
+        Non-numeric values and values below ``minimum`` are rejected as
+        structured 400s — never 500s (negative/zero ``limit`` used to
+        slip through as server errors).
+        """
+        raw = self._param(params, name)
+        try:
+            value = int(raw)
+        except ValueError:
+            raise UpdateError(f"parameter {name!r} must be an integer: {raw!r}")
+        if minimum is not None and value < minimum:
+            raise UpdateError(
+                f"parameter {name!r} must be >= {minimum}, got {value}"
+            )
+        return value
+
+    # -- dispatch --------------------------------------------------------
+    def dispatch(
+        self,
+        url_path: str,
+        params: Dict[str, list],
+        body: Optional[Any],
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Route one request and run its handler, mapping errors.
+
+        Returns ``(status, payload)`` — the complete response in both
+        the success and every error case, so front ends only serialise.
+        Domain errors map to 400, a dead shard to a structured 503,
+        anything unexpected to 500; deprecated aliases get the
+        ``deprecated`` marker exactly as before the refactor.
+        """
+        name, v1 = route(url_path)
+        if name is None:
+            return 404, error_payload(
+                "not_found", f"unknown endpoint {url_path!r}", v1=v1
+            )
+        if not v1:
+            self.service.note_legacy_hit(name)
+        t0 = time.perf_counter()
+        try:
+            handler = getattr(self, f"_handle_{name}")
+            status, payload = handler(params, body, v1)
+            if not v1:
+                payload["deprecated"] = True
+        except ShardUnavailableError as exc:
+            # a dead/unreachable shard degrades the request explicitly
+            # (structured 503) — the contract is "never a hang"
+            status, payload = 503, {
+                "error": {"code": "shard_unavailable", "message": str(exc)},
+                "degraded": True,
+                "shards_down": exc.shards,
+            }
+        except (UpdateError, PathSyntaxError, KeyError, TypeError, ValueError) as exc:
+            status, payload = 400, error_payload("bad_request", str(exc), v1=v1)
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, error_payload(
+                "internal", f"internal error: {exc}", v1=v1
+            )
+        self.telemetry.observe(name, time.perf_counter() - t0, status)
+        return status, payload
+
+    # -- endpoints -------------------------------------------------------
+    def _handle_query(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        path = self._param(params, "path")
+        limit = None
+        if "limit" in params:
+            # /v1 requires a useful limit; the deprecated alias keeps
+            # the legacy contract where limit=0 returns an empty page
+            limit = self._int_param(params, "limit", minimum=1 if v1 else 0)
+        offset = 0
+        if "offset" in params:
+            offset = self._int_param(params, "offset", minimum=0)
+        response = self.service.query(path, limit=limit, offset=offset)
+        collection = response.collection  # same epoch as the results
+        results = []
+        for r in response.results:
+            element = collection.elements[r.target]
+            results.append(
+                {
+                    "score": r.score,
+                    "element": r.target,
+                    "doc": element.doc,
+                    "tag": element.tag,
+                    "text": element.text,
+                    "bindings": list(r.bindings),
+                }
+            )
+        payload: Dict[str, Any] = {
+            "epoch": response.epoch,
+            "path": response.path,
+            "cached": response.cached,
+            "seconds": response.seconds,
+            "count": len(results),
+            "results": results,
+        }
+        if v1:
+            consumed = offset + len(results)
+            payload.update(
+                total=response.total,
+                limit=limit,
+                offset=offset,
+                next_offset=consumed if consumed < response.total else None,
+                truncated=response.truncated,
+            )
+        return 200, payload
+
+    def _handle_count(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        path = self._param(params, "path")
+        epoch, n = self.service.count(path)
+        return 200, {"epoch": epoch, "path": path, "count": n}
+
+    def _handle_explain(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        path = self._param(params, "path")
+        mode = params.get("mode", ["evaluate"])[0]
+        epoch, plan = self.service.explain(path, mode=mode)
+        return 200, {"epoch": epoch, "plan": plan}
+
+    def _handle_connected(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        u = self._int_param(params, "source")
+        v = self._int_param(params, "target")
+        epoch, connected = self.service.connected(u, v)
+        return 200, {"epoch": epoch, "source": u, "target": v,
+                     "connected": connected}
+
+    def _handle_distance(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        u = self._int_param(params, "source")
+        v = self._int_param(params, "target")
+        epoch, dist = self.service.distance(u, v)
+        return 200, {"epoch": epoch, "source": u, "target": v,
+                     "distance": dist}
+
+    def _handle_update(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        if body is None:
+            raise UpdateError("/update requires a POST body")
+        if isinstance(body, list):
+            ops = body
+        elif isinstance(body, dict):
+            ops = body.get("ops", [])
+        else:
+            raise UpdateError(
+                "/update body must be a JSON object with an 'ops' list "
+                f"or a bare list, got {type(body).__name__}"
+            )
+        if not isinstance(ops, list):
+            raise UpdateError("'ops' must be a list of operations")
+        report = self.service.update(ops)
+        return 200, report
+
+    def _handle_stats(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        return 200, self.service.stats()
+
+    def _handle_healthz(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        payload = self.service.healthz()
+        return (200 if payload.get("status") == "ok" else 503), payload
+
+    def _handle_metrics(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
+        """Telemetry + cache hit rates + epoch age, in one payload.
+
+        Deliberately avoids :meth:`QueryService.healthz` /
+        :meth:`~repro.service.shard.ShardRouter.healthz` — on a sharded
+        router those scatter to every shard, and ``/v1/metrics`` must
+        stay cheap and responsive even when shards are down.
+        """
+        payload = self.telemetry.snapshot()
+        service = self.service
+        payload["epoch"] = service.epoch
+        published_at = getattr(service, "_published_at", None)
+        payload["epoch_age_seconds"] = (
+            time.time() - published_at if published_at is not None else None
+        )
+        started = getattr(service, "_started", None)
+        payload["uptime_seconds"] = (
+            time.time() - started if started is not None else None
+        )
+        holder = getattr(service, "_holder", None)
+        payload["swaps"] = (
+            holder.swaps if holder is not None else getattr(service, "_swaps", None)
+        )
+        caches: Dict[str, Any] = {}
+        results = getattr(service, "_results", None)
+        if results is not None:
+            caches["result"] = results.stats()
+        plans = getattr(service, "_plans", None)
+        if plans is not None:
+            caches["plan"] = plans.stats()
+        if holder is not None:
+            caches["probe"] = holder.current.probes.stats()
+        payload["cache"] = caches
+        return 200, payload

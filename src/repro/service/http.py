@@ -1,9 +1,13 @@
-"""Stdlib HTTP front end for :class:`~repro.service.service.QueryService`.
+"""Stdlib threaded HTTP front end for :class:`~repro.service.service.QueryService`.
 
 ``ThreadingHTTPServer`` gives one thread per connection; every handler
 thread goes through the service's lock-free read path, so concurrent
-clients share the caches and the published epoch exactly like in-process
-readers.
+clients share the caches and the published epoch exactly like
+in-process readers. The asyncio front end
+(:mod:`repro.service.asyncio_http`) serves the same API with admission
+control and a bounded worker pool — both dispatch into one shared
+:class:`~repro.service.api.ServiceAPI`, so their responses are
+bit-identical by construction.
 
 The API is versioned under ``/v1`` (all JSON):
 
@@ -32,6 +36,11 @@ The API is versioned under ``/v1`` (all JSON):
                                when serving sharded — per-shard
                                reachability; 200 when ``status`` is
                                ``ok``, 503 when ``degraded``
+``GET /v1/metrics``            ops telemetry: per-endpoint latency
+                               histograms (p50/p95/p99), request/shed
+                               counters, cache hit rates, epoch age,
+                               and — on the asyncio front end — queue
+                               depth and in-flight gauges
 =============================  ============================================
 
 When the server fronts a :class:`~repro.service.shard.ShardRouter`, a
@@ -55,43 +64,44 @@ rejects a zero limit), and every hit is counted in the service's
 
 Every response carries the ``epoch`` that answered it, so clients can
 observe hot swaps. To add an endpoint: write a ``_handle_<name>``
-method on :class:`ServiceRequestHandler` returning ``(status, payload)``
-and list it in ``V1_ROUTES`` (and ``LEGACY_ROUTES`` if it should also
-answer un-versioned).
+method on :class:`~repro.service.api.ServiceAPI` returning
+``(status, payload)`` and list it in
+:data:`~repro.service.api.V1_ROUTES` (and
+:data:`~repro.service.api.LEGACY_ROUTES` if it should also answer
+un-versioned) — both front ends pick it up.
 """
 
 from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
-from repro.query.pathexpr import PathSyntaxError
-from repro.service.service import QueryService, UpdateError
-from repro.service.shard import ShardUnavailableError
+from repro.service.api import LEGACY_ROUTES, V1_ROUTES, ServiceAPI, error_payload
+from repro.service.service import QueryService
+from repro.service.telemetry import Telemetry
+
+__all__ = [
+    "JSON",
+    "LEGACY_ROUTES",
+    "V1_ROUTES",
+    "ServiceHTTPServer",
+    "ServiceRequestHandler",
+    "make_server",
+]
 
 JSON = "application/json"
-
-#: endpoints served under ``/v1/<name>``
-V1_ROUTES = frozenset(
-    {"query", "count", "explain", "connected", "distance", "update",
-     "stats", "healthz"}
-)
-#: endpoints also served un-versioned, as deprecated aliases
-LEGACY_ROUTES = frozenset(
-    {"query", "count", "connected", "distance", "update", "stats"}
-)
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
     """JSON-over-HTTP front end for one :class:`QueryService`.
 
-    Routing is by path segment (``/v1/query`` and the deprecated alias
-    ``/query`` → ``_handle_query`` etc.); ``_dispatch`` owns JSON
-    encoding and error mapping (domain errors → 400, unknown routes →
-    404 — structured error objects on ``/v1``, legacy flat strings on
-    aliases). See ARCHITECTURE.md for how to add an endpoint.
+    A thin transport shell: parses the request line, query string and
+    POST body, then hands off to the server's shared
+    :class:`~repro.service.api.ServiceAPI` (which owns routing, the
+    endpoint handlers and error mapping) and writes the returned
+    ``(status, payload)`` back as JSON.
     """
 
     server_version = "repro-hopi"
@@ -102,6 +112,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def service(self) -> QueryService:
         """The :class:`QueryService` the enclosing server publishes."""
         return self.server.service  # type: ignore[attr-defined]
+
+    @property
+    def api(self) -> ServiceAPI:
+        """The shared endpoint core carried by the enclosing server."""
+        return self.server.api  # type: ignore[attr-defined]
 
     def log_message(self, fmt: str, *args: Any) -> None:
         """Per-request logging, silenced unless the server is verbose."""
@@ -116,83 +131,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, status: int, code: str, message: str,
-                    *, v1: bool) -> None:
-        """Errors: structured ``{"error": {code, message}}`` on /v1,
-        the legacy flat ``{"error": message}`` on deprecated aliases."""
-        if v1:
-            self._send_json(status, {"error": {"code": code,
-                                               "message": message}})
-        else:
-            self._send_json(status, {"error": message, "deprecated": True})
-
-    def _param(self, params: Dict[str, list], name: str) -> str:
-        values = params.get(name)
-        if not values:
-            raise UpdateError(f"missing query parameter {name!r}")
-        return values[0]
-
-    def _int_param(
-        self,
-        params: Dict[str, list],
-        name: str,
-        *,
-        minimum: Optional[int] = None,
-    ) -> int:
-        """A validated integer query parameter.
-
-        Non-numeric values and values below ``minimum`` are rejected as
-        structured 400s — never 500s (negative/zero ``limit`` used to
-        slip through as server errors).
-        """
-        raw = self._param(params, name)
-        try:
-            value = int(raw)
-        except ValueError:
-            raise UpdateError(f"parameter {name!r} must be an integer: {raw!r}")
-        if minimum is not None and value < minimum:
-            raise UpdateError(
-                f"parameter {name!r} must be >= {minimum}, got {value}"
-            )
-        return value
-
-    def _route(self, path: str) -> Tuple[Optional[str], bool]:
-        """Resolve a URL path to ``(endpoint name, is_v1)``."""
-        if path.startswith("/v1/"):
-            name = path[len("/v1/"):]
-            return (name if name in V1_ROUTES else None), True
-        name = path.lstrip("/")
-        return (name if name in LEGACY_ROUTES else None), False
-
     def _dispatch(self, url_path: str, params: Dict[str, list],
                   body: Optional[Dict[str, Any]]) -> None:
-        name, v1 = self._route(url_path)
-        if name is None:
-            self._send_error(
-                404, "not_found", f"unknown endpoint {url_path!r}", v1=v1
-            )
-            return
-        handler = getattr(self, f"_handle_{name}")
-        if not v1:
-            self.service.note_legacy_hit(name)
-        try:
-            status, payload = handler(params, body, v1)
-        except ShardUnavailableError as exc:
-            # a dead/unreachable shard degrades the request explicitly
-            # (structured 503) — the contract is "never a hang"
-            self._send_json(503, {
-                "error": {"code": "shard_unavailable", "message": str(exc)},
-                "degraded": True,
-                "shards_down": exc.shards,
-            })
-        except (UpdateError, PathSyntaxError, KeyError, TypeError, ValueError) as exc:
-            self._send_error(400, "bad_request", str(exc), v1=v1)
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send_error(500, "internal", f"internal error: {exc}", v1=v1)
-        else:
-            if not v1:
-                payload["deprecated"] = True
-            self._send_json(status, payload)
+        status, payload = self.api.dispatch(url_path, params, body)
+        self._send_json(status, payload)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         """Route a GET request (query parameters only, no body)."""
@@ -212,114 +154,25 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._send_error(
-                400, "bad_request", "invalid Content-Length header", v1=v1
+            self._send_json(
+                400,
+                error_payload("bad_request", "invalid Content-Length header",
+                              v1=v1),
             )
             return
         raw = self.rfile.read(length) if length > 0 else b""
         try:
             body = json.loads(raw.decode("utf-8")) if raw else {}
         except ValueError as exc:
-            self._send_error(
-                400, "bad_request",
-                f"request body is not valid JSON: {exc}", v1=v1,
+            self._send_json(
+                400,
+                error_payload(
+                    "bad_request",
+                    f"request body is not valid JSON: {exc}", v1=v1,
+                ),
             )
             return
         self._dispatch(url.path, parse_qs(url.query), body)
-
-    # -- endpoints -------------------------------------------------------
-    def _handle_query(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
-        path = self._param(params, "path")
-        limit = None
-        if "limit" in params:
-            # /v1 requires a useful limit; the deprecated alias keeps
-            # the legacy contract where limit=0 returns an empty page
-            limit = self._int_param(params, "limit", minimum=1 if v1 else 0)
-        offset = 0
-        if "offset" in params:
-            offset = self._int_param(params, "offset", minimum=0)
-        response = self.service.query(path, limit=limit, offset=offset)
-        collection = response.collection  # same epoch as the results
-        results = []
-        for r in response.results:
-            element = collection.elements[r.target]
-            results.append(
-                {
-                    "score": r.score,
-                    "element": r.target,
-                    "doc": element.doc,
-                    "tag": element.tag,
-                    "text": element.text,
-                    "bindings": list(r.bindings),
-                }
-            )
-        payload: Dict[str, Any] = {
-            "epoch": response.epoch,
-            "path": response.path,
-            "cached": response.cached,
-            "seconds": response.seconds,
-            "count": len(results),
-            "results": results,
-        }
-        if v1:
-            consumed = offset + len(results)
-            payload.update(
-                total=response.total,
-                limit=limit,
-                offset=offset,
-                next_offset=consumed if consumed < response.total else None,
-                truncated=response.truncated,
-            )
-        return 200, payload
-
-    def _handle_count(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
-        path = self._param(params, "path")
-        epoch, n = self.service.count(path)
-        return 200, {"epoch": epoch, "path": path, "count": n}
-
-    def _handle_explain(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
-        path = self._param(params, "path")
-        mode = params.get("mode", ["evaluate"])[0]
-        epoch, plan = self.service.explain(path, mode=mode)
-        return 200, {"epoch": epoch, "plan": plan}
-
-    def _handle_connected(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
-        u = self._int_param(params, "source")
-        v = self._int_param(params, "target")
-        epoch, connected = self.service.connected(u, v)
-        return 200, {"epoch": epoch, "source": u, "target": v,
-                     "connected": connected}
-
-    def _handle_distance(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
-        u = self._int_param(params, "source")
-        v = self._int_param(params, "target")
-        epoch, dist = self.service.distance(u, v)
-        return 200, {"epoch": epoch, "source": u, "target": v,
-                     "distance": dist}
-
-    def _handle_update(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
-        if body is None:
-            raise UpdateError("/update requires a POST body")
-        if isinstance(body, list):
-            ops = body
-        elif isinstance(body, dict):
-            ops = body.get("ops", [])
-        else:
-            raise UpdateError(
-                "/update body must be a JSON object with an 'ops' list "
-                f"or a bare list, got {type(body).__name__}"
-            )
-        if not isinstance(ops, list):
-            raise UpdateError("'ops' must be a list of operations")
-        report = self.service.update(ops)
-        return 200, report
-
-    def _handle_stats(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
-        return 200, self.service.stats()
-
-    def _handle_healthz(self, params, body, v1) -> Tuple[int, Dict[str, Any]]:
-        payload = self.service.healthz()
-        return (200 if payload.get("status") == "ok" else 503), payload
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -327,16 +180,22 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     ``daemon_threads`` keeps request threads from blocking shutdown;
     ``allow_reuse_address`` makes restart-in-place (and tests) painless.
+    The server also owns the shared endpoint core (``api``) and its
+    :class:`~repro.service.telemetry.Telemetry` instance, so
+    ``/v1/metrics`` works on the threaded front end too.
     """
 
     daemon_threads = True
     allow_reuse_address = True
 
     def __init__(self, address, service: QueryService, *,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 telemetry: Optional[Telemetry] = None) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.service = service
         self.verbose = verbose
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.api = ServiceAPI(service, telemetry=self.telemetry)
 
 
 def make_server(

@@ -1,0 +1,44 @@
+"""Fault-injection/load harness for serving-tier tests.
+
+A thin re-export seam: the real generators live in
+:mod:`repro.bench.faults` (inside the installed package, so the bench
+harness can drive the identical scenarios it records in
+``BENCH_service.json``); tests import them from here so test code
+reads as ``harness.open_loop_burst(...)`` and the harness can grow
+test-only helpers without touching the package.
+
+Contents (see :mod:`repro.bench.faults` for details):
+
+* ``cold_miss_paths(n)`` — distinct-plan paths, every request a
+  result-cache miss;
+* ``slow_shard(router, shard_id, delay)`` / ``dead_shard(router,
+  shard_id)`` — degrade one shard of a live router;
+* ``open_loop_burst(...)`` — schedule-driven load with per-request
+  classification (ok/shed/degraded/unstructured/hung);
+* ``cold_miss_convoy(...)`` — N clients barrier-released onto one
+  cold path (coalescing checks);
+* ``closed_loop_clients(...)`` — per-client request loops for tail
+  latency measurement.
+"""
+
+from repro.bench.faults import (  # noqa: F401 (re-export surface)
+    BurstReport,
+    RequestOutcome,
+    closed_loop_clients,
+    cold_miss_convoy,
+    cold_miss_paths,
+    dead_shard,
+    open_loop_burst,
+    slow_shard,
+)
+
+__all__ = [
+    "BurstReport",
+    "RequestOutcome",
+    "closed_loop_clients",
+    "cold_miss_convoy",
+    "cold_miss_paths",
+    "dead_shard",
+    "open_loop_burst",
+    "slow_shard",
+]

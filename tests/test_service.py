@@ -466,8 +466,10 @@ def test_concurrent_readers_never_observe_torn_epochs(backend):
     n_readers = 4
     # the writer passes the barrier with the readers, so no update can
     # complete before every reader is live; readers also run a minimum
-    # number of cycles so the overlap is real, not vacuous
-    start = threading.Barrier(n_readers + 1)
+    # number of cycles so the overlap is real, not vacuous; one extra
+    # prober hammers /v1/stats + /v1/healthz the whole time — the ops
+    # counters must never tear mid-swap (negative ages, epoch jumps)
+    start = threading.Barrier(n_readers + 2)
     min_iters = 10 * len(paths)
 
     def reader():
@@ -499,7 +501,43 @@ def test_concurrent_readers_never_observe_torn_epochs(backend):
             if i > 20_000:  # safety net on slow machines
                 break
 
+    def prober():
+        """stats() and healthz() under concurrent hot-swap: epoch and
+        swap counters must stay monotone and the derived ages must
+        never go negative — a torn read of ``_published_at`` vs the
+        holder would show up here as a negative age or a swap count
+        ahead of the epoch."""
+        start.wait(timeout=30)
+        last_epoch = -1
+        last_swaps = -1
+        while not writer_done.is_set():
+            for payload in (service.stats(), service.healthz()):
+                epoch = payload["epoch"]
+                swaps = payload["swaps"]
+                age = payload.get("epoch_age_seconds")
+                uptime = payload.get("uptime_seconds")
+                if not 0 <= epoch <= len(ops):
+                    with lock:
+                        mismatches.append(("probe epoch out of range", epoch))
+                if not 0 <= swaps <= len(ops):
+                    with lock:
+                        mismatches.append(("probe swaps out of range", swaps))
+                if epoch < last_epoch or swaps < last_swaps:
+                    with lock:
+                        mismatches.append(
+                            ("probe counters went backwards", (epoch, swaps))
+                        )
+                if age is not None and age < 0:
+                    with lock:
+                        mismatches.append(("negative epoch age", age))
+                if uptime is not None and uptime < 0:
+                    with lock:
+                        mismatches.append(("negative uptime", uptime))
+                last_epoch = max(last_epoch, epoch)
+                last_swaps = max(last_swaps, swaps)
+
     readers = [threading.Thread(target=reader) for _ in range(n_readers)]
+    readers.append(threading.Thread(target=prober))
     for t in readers:
         t.start()
     start.wait(timeout=30)
