@@ -184,6 +184,72 @@ def run_service_suite() -> None:
         "overload burst produced a status outside {200, 429, 503}"
     )
 
+    wp = result["write_path"]
+    under = wp["updates_under_readers"]
+    print_table(
+        ["updates", "upd/s", "readers", "reads", "read errs", "read rps",
+         "read p95 ms"],
+        [(under["updates"],
+          round(under["updates_per_second"])
+          if under["updates_per_second"] is not None else "-",
+          under["reader_threads"], under["reader_requests"],
+          under["reader_errors"],
+          round(under["reader_throughput_rps"])
+          if under["reader_throughput_rps"] is not None else "-",
+          round(under["reader_p95_ms"], 3)
+          if under["reader_p95_ms"] is not None else "-")],
+        title="Write path: back-to-back updates under 4-thread querying",
+    )
+    sub = wp["publish_latency"]
+    print_table(
+        ["docs", "elements", "cow publish ms", "deep publish ms",
+         "deep/cow"],
+        [
+            (row["documents"], row["elements"],
+             round(row["cow_publish_seconds"] * 1000.0, 3),
+             round(row["deep_publish_seconds"] * 1000.0, 3),
+             round(row["deep_over_cow"], 2)
+             if row["deep_over_cow"] is not None else "-")
+            for row in sub["sizes"]
+        ],
+        title=(
+            "Write path: single-op publish latency vs collection size "
+            f"(COW exponent {round(sub['cow_scaling_exponent'], 2) if sub['cow_scaling_exponent'] is not None else '-'}, "
+            f"deep-copy exponent {round(sub['deep_scaling_exponent'], 2) if sub['deep_scaling_exponent'] is not None else '-'}; "
+            "COW must be sublinear)"
+        ),
+    )
+    print_table(
+        ["callers", "updates", "errors", "publishes", "upd/publish",
+         "upd/s", "commit p95 ms"],
+        [
+            (row["callers"], row["updates"], row["errors"],
+             row["publishes"],
+             round(row["updates_per_publish"], 2)
+             if row["updates_per_publish"] is not None else "-",
+             round(row["updates_per_second"])
+             if row["updates_per_second"] is not None else "-",
+             round(row["commit_p95_ms"], 3)
+             if row["commit_p95_ms"] is not None else "-")
+            for row in wp["group_commit"]
+        ],
+        title="Write path: group-commit sweep (concurrent update callers)",
+    )
+    assert under["reader_errors"] == 0, (
+        "write-path readers produced failed requests"
+    )
+    assert all(row["errors"] == 0 for row in wp["group_commit"]), (
+        "group-commit sweep produced failed updates"
+    )
+    # the sublinearity gate: COW publish latency must grow slower than
+    # collection size (the CI bound absorbs tiny-scale timer noise)
+    exponent_bound = 1.25 if os.environ.get("CI") else 1.0
+    assert sub["cow_scaling_exponent"] is not None
+    assert sub["cow_scaling_exponent"] < exponent_bound, (
+        f"COW publish latency is not sublinear: exponent "
+        f"{sub['cow_scaling_exponent']:.2f} (bound {exponent_bound})"
+    )
+
 
 def run_build_suite() -> None:
     """The offline-build benchmark (appended to BENCH_build.json)."""

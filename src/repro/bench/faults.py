@@ -173,6 +173,7 @@ class RequestOutcome:
     #: the structured ``{"error": ...}`` shape
     error_code: Optional[str] = None  #: ``error.code`` on /v1 errors
     hung: bool = False  #: no complete response within the deadline
+    retry_after: Optional[int] = None  #: Retry-After header on sheds
 
 
 @dataclass
@@ -251,18 +252,23 @@ def _one_request(
     timeout: float,
     method: str = "GET",
     body: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
 ) -> RequestOutcome:
     """Send one HTTP request on a fresh connection and classify it."""
     t0 = time.perf_counter()
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
-        headers = {}
+        send_headers = dict(headers) if headers else {}
         if body is not None:
-            headers["Content-Type"] = "application/json"
-        conn.request(method, path, body=body, headers=headers)
+            send_headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=send_headers)
         response = conn.getresponse()
         raw = response.read()
         elapsed = time.perf_counter() - t0
+        retry_after_header = response.getheader("Retry-After")
+        retry_after = (
+            int(retry_after_header) if retry_after_header is not None else None
+        )
         structured = False
         error_code: Optional[str] = None
         try:
@@ -283,6 +289,7 @@ def _one_request(
             elapsed=elapsed,
             structured=structured,
             error_code=error_code,
+            retry_after=retry_after,
         )
     except (socket.timeout, TimeoutError):
         return RequestOutcome(
@@ -313,6 +320,7 @@ def open_loop_burst(
     duration: float,
     timeout: float = 30.0,
     max_inflight_senders: int = 256,
+    headers: Optional[Dict[str, str]] = None,
 ) -> BurstReport:
     """Open-loop load: fire requests on schedule, never wait for answers.
 
@@ -334,7 +342,9 @@ def open_loop_burst(
 
     def _fire(path: str) -> None:
         try:
-            outcome = _one_request(host, port, path, timeout=timeout)
+            outcome = _one_request(
+                host, port, path, timeout=timeout, headers=headers
+            )
             with report_lock:
                 report.outcomes.append(outcome)
         finally:

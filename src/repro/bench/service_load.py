@@ -31,6 +31,8 @@ records the serving-tier trajectory:
 
 from __future__ import annotations
 
+import math
+import sys
 import threading
 import time
 from dataclasses import asdict, dataclass, field
@@ -38,10 +40,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.trajectory import anchored_trajectory_path, append_trajectory
-from repro.bench.workloads import bench_dblp
+from repro.bench.workloads import bench_dblp, workload_scale
 from repro.core.hopi import HopiIndex
+from repro.core.ops import apply_update_op
 from repro.query.engine import QueryEngine
 from repro.service.service import QueryService
+from repro.xmlmodel.generator import dblp_like
 from repro.xmlmodel.model import Collection
 
 
@@ -605,6 +609,259 @@ def run_async_front_end_benchmark(
     return {"tail": tail, "overload": overload}
 
 
+# --------------------------------------------------------------------------
+# write path: COW publish latency, group commit, updates under readers
+# --------------------------------------------------------------------------
+
+
+def _single_op(index: HopiIndex, tag: str) -> List[Dict[str, object]]:
+    """One ``insert_element`` batch at the first document root."""
+    docs = sorted(index.collection.documents)
+    root = index.collection.documents[docs[0]].root
+    return [{"op": "insert_element", "parent": root, "tag": tag}]
+
+
+def _legacy_deep_copy_update(
+    service: QueryService, ops: Sequence[Dict[str, object]]
+) -> None:
+    """The pre-COW write path: fork the shadow with a full deep copy.
+
+    Kept only as the benchmark baseline — same lock, same publish
+    machinery as :meth:`QueryService.update`, only the fork differs.
+    """
+    with service._write_lock:
+        current = service._holder.current
+        shadow = current.index.copy()
+        for op in ops:
+            apply_update_op(shadow, op)
+        if shadow.epoch <= current.epoch:
+            shadow.epoch = current.epoch + 1
+        service._publish(shadow)
+
+
+def run_publish_latency_sweep(
+    *,
+    backend: str = "arrays",
+    size_docs: Sequence[int] = (8, 32, 128),
+    repetitions: int = 5,
+) -> Dict[str, object]:
+    """Publish latency of a single-op epoch vs collection size.
+
+    For each size the same ``insert_element`` batch is published through
+    the COW write path (``cow_copy`` shadow) and through the legacy
+    deep-copy path; the best-of-``repetitions`` wall time is recorded
+    (best-of, not mean — the quantity of interest is the cost floor of
+    the fork, not scheduler noise).
+
+    The **sublinearity gate**: fit ``latency ~ elements**k`` between the
+    smallest and largest size. The deep-copy path must re-materialise
+    the whole index per update (k near 1), while the COW path copies
+    outer containers only and privatises the handful of dirty rows —
+    its exponent must stay below 1.
+    """
+    scale = workload_scale()
+    rows: List[Dict[str, object]] = []
+    for base_docs in size_docs:
+        docs = max(int(base_docs * scale), 4)
+        collection = dblp_like(docs, seed=2005)
+        index = HopiIndex.build(
+            collection,
+            strategy="recursive",
+            partitioner="node_weight",
+            partition_limit=max(collection.num_elements // 16, 1),
+            backend=backend,
+        )
+
+        cow_service = QueryService(index.copy())
+        cow_times: List[float] = []
+        for rep in range(repetitions):
+            ops = _single_op(cow_service.index, f"cow{rep}")
+            t0 = time.perf_counter()
+            cow_service.update(ops)
+            cow_times.append(time.perf_counter() - t0)
+
+        deep_service = QueryService(index.copy())
+        deep_times: List[float] = []
+        for rep in range(repetitions):
+            ops = _single_op(deep_service.index, f"deep{rep}")
+            t0 = time.perf_counter()
+            _legacy_deep_copy_update(deep_service, ops)
+            deep_times.append(time.perf_counter() - t0)
+
+        cow_best, deep_best = min(cow_times), min(deep_times)
+        rows.append(
+            {
+                "documents": docs,
+                "elements": collection.num_elements,
+                "cow_publish_seconds": cow_best,
+                "deep_publish_seconds": deep_best,
+                "deep_over_cow": (deep_best / cow_best) if cow_best > 0 else None,
+            }
+        )
+
+    def exponent(key: str) -> Optional[float]:
+        first, last = rows[0], rows[-1]
+        growth = last["elements"] / first["elements"]
+        if growth <= 1 or not first[key] or not last[key]:
+            return None
+        return math.log(last[key] / first[key]) / math.log(growth)
+
+    cow_exp = exponent("cow_publish_seconds")
+    deep_exp = exponent("deep_publish_seconds")
+    return {
+        "sizes": rows,
+        "cow_scaling_exponent": cow_exp,
+        "deep_scaling_exponent": deep_exp,
+        # the acceptance gate: COW publish latency sublinear in size
+        "cow_sublinear": (cow_exp is not None and cow_exp < 1.0),
+    }
+
+
+def run_group_commit_sweep(
+    index: HopiIndex,
+    *,
+    caller_counts: Sequence[int] = (1, 4, 16),
+    updates_each: int = 6,
+) -> List[Dict[str, object]]:
+    """Concurrent update callers vs publishes: the group-commit factor.
+
+    ``callers`` threads each submit ``updates_each`` single-op batches
+    back-to-back. While one caller's drain holds the write lock, the
+    others queue; the drainer folds everything queued into one shadow
+    and publishes once, so under contention ``updates / publishes``
+    climbs above 1 — that ratio and the wall throughput are what the
+    sweep records. The GIL switch interval is shrunk for the sweep so
+    commits actually get preempted (with the default 5 ms slice a
+    sub-millisecond commit finishes unchallenged and every batch
+    publishes solo, hiding the behaviour under test).
+    """
+    rows: List[Dict[str, object]] = []
+    for callers in caller_counts:
+        service = QueryService(index.copy())
+        swaps_before = service._holder.swaps
+
+        def submit(slot: int, lat: List[float]) -> None:
+            for i in range(updates_each):
+                ops = _single_op(service.index, f"gc-c{slot}-u{i}")
+                t0 = time.perf_counter()
+                service.update(ops)
+                lat.append(time.perf_counter() - t0)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(0.0005)
+        try:
+            merged, errors, wall = _run_clients(callers, submit)
+        finally:
+            sys.setswitchinterval(old_interval)
+
+        publishes = service._holder.swaps - swaps_before
+        updates = callers * updates_each
+        ordered = sorted(merged)
+        rows.append(
+            {
+                "callers": callers,
+                "updates": updates,
+                "errors": len(errors),
+                "publishes": publishes,
+                "updates_per_publish": (
+                    updates / publishes if publishes else None
+                ),
+                "updates_per_second": (updates / wall) if wall > 0 else None,
+                "commit_p95_ms": (
+                    percentile(ordered, 0.95) * 1000.0 if ordered else None
+                ),
+            }
+        )
+    return rows
+
+
+def run_updates_under_readers(
+    index: HopiIndex,
+    paths: Sequence[str],
+    *,
+    reader_threads: int = 4,
+    updates: int = 30,
+) -> Dict[str, object]:
+    """Sustained single-op update throughput with readers at full speed.
+
+    Unlike :func:`run_hot_swap_under_load` (which paces its writer to
+    maximise swap/read overlap for the torn-read check), the writer
+    here publishes back-to-back: the figure of merit is updates/sec
+    while ``reader_threads`` keep querying, plus the reader throughput
+    they retain under that write pressure.
+    """
+    service = QueryService(index.copy())
+    readers_started = threading.Event()
+    writer_done = threading.Event()
+    write_wall = [0.0]
+
+    def reader(idx: int, lat: List[float]) -> None:
+        i = 0
+        while not writer_done.is_set() or i < len(paths):
+            path = paths[i % len(paths)]
+            i += 1
+            t0 = time.perf_counter()
+            service.query(path)
+            lat.append(time.perf_counter() - t0)
+            readers_started.set()
+            if i >= updates * 200:  # pragma: no cover - safety net
+                break
+
+    def writer() -> None:
+        readers_started.wait(timeout=30)
+        t0 = time.perf_counter()
+        try:
+            for i in range(updates):
+                service.update(_single_op(service.index, f"wnote{i}"))
+        finally:
+            write_wall[0] = time.perf_counter() - t0
+            writer_done.set()
+
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    writer_thread.start()
+    merged, errors, wall = _run_clients(reader_threads, reader)
+    writer_thread.join()
+
+    ordered = sorted(merged)
+    return {
+        "updates": updates,
+        "updates_per_second": (
+            updates / write_wall[0] if write_wall[0] > 0 else None
+        ),
+        "reader_threads": reader_threads,
+        "reader_requests": len(merged),
+        "reader_errors": len(errors),
+        "reader_throughput_rps": (len(merged) / wall) if wall > 0 else None,
+        "reader_p95_ms": (
+            percentile(ordered, 0.95) * 1000.0 if ordered else None
+        ),
+    }
+
+
+def run_write_path_benchmark(
+    index: HopiIndex,
+    paths: Sequence[str],
+    *,
+    backend: str = "arrays",
+    updates: int = 30,
+) -> Dict[str, object]:
+    """The write-heavy segment of the serving benchmark.
+
+    Three sub-studies: sustained updates/sec under concurrent readers,
+    single-op publish latency vs collection size for the COW vs the
+    legacy deep-copy shadow (with the sublinearity gate), and the
+    group-commit batch-size sweep.
+    """
+    scaled_updates = max(int(updates * workload_scale()), 5)
+    return {
+        "updates_under_readers": run_updates_under_readers(
+            index, paths, updates=scaled_updates
+        ),
+        "publish_latency": run_publish_latency_sweep(backend=backend),
+        "group_commit": run_group_commit_sweep(index),
+    }
+
+
 def run_service_benchmark(
     collection: Optional[Collection] = None,
     *,
@@ -654,6 +911,8 @@ def run_service_benchmark(
 
     async_front_end = run_async_front_end_benchmark(index)
 
+    write_path = run_write_path_benchmark(index, paths, backend=backend)
+
     return {
         "collection": "DBLP",
         "backend": backend,
@@ -665,6 +924,7 @@ def run_service_benchmark(
         "hot_swap": asdict(hot_swap),
         "sharded": sharded,
         "async_front_end": async_front_end,
+        "write_path": write_path,
     }
 
 

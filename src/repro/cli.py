@@ -258,7 +258,27 @@ def cmd_delete_doc(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueryService, ShardRouter, make_server
 
-    index = load_index(args.index, backend=args.backend)
+    durable_store = None
+    if args.store:
+        from repro.storage.wal import DurableIndexStore
+
+        durable_store = DurableIndexStore(
+            args.store, checkpoint_interval=args.checkpoint_interval
+        )
+        if durable_store.exists():
+            # crash recovery: snapshot + replay of WAL records newer
+            # than the snapshot epoch — args.index is only the seed
+            index = durable_store.recover(backend=args.backend)
+            print(
+                f"recovered epoch {index.epoch} from {args.store}",
+                flush=True,
+            )
+        else:
+            index = load_index(args.index, backend=args.backend)
+            durable_store.initialize(index)
+            print(f"initialised durable store {args.store}", flush=True)
+    else:
+        index = load_index(args.index, backend=args.backend)
     workers = None
     if args.shard_workers:
         workers = [a.strip() for a in args.shard_workers.split(",") if a.strip()]
@@ -272,6 +292,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             similarity_threshold=args.similarity_threshold,
             result_cache_size=args.result_cache,
             probe_cache_size=args.probe_cache,
+            durable_store=durable_store,
         )
         mode = (
             f"shards={num_shards} ({service.executor})"
@@ -283,6 +304,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             similarity_threshold=args.similarity_threshold,
             result_cache_size=args.result_cache,
             probe_cache_size=args.probe_cache,
+            durable_store=durable_store,
         )
         mode = "unsharded"
     if args.use_async:
@@ -294,6 +316,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             service,
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
+            max_client_share=args.max_client_share,
             verbose=args.verbose,
             max_requests=args.max_requests,
         )
@@ -497,6 +520,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-epoch descendant-probe LRU entries")
     p.add_argument("--max-requests", type=int, default=None,
                    help="exit after accepting N connections (smoke tests/CI)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="durable store directory (index.db + updates.wal): "
+                        "update batches are WAL-logged before publishing "
+                        "and the server recovers the latest epoch after a "
+                        "crash; an empty DIR is seeded from the index "
+                        "argument, a populated one takes precedence over it")
+    p.add_argument("--checkpoint-interval", type=int, default=64,
+                   help="WAL records between snapshot checkpoints of the "
+                        "durable store (default 64)")
     p.add_argument("--async", dest="use_async", action="store_true",
                    help="serve on the asyncio front end: bounded worker "
                         "pool + admission control — overload answers a "
@@ -508,6 +540,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="async front end: admitted requests allowed to "
                         "wait for a worker slot before new arrivals are "
                         "shed with 429 (default 64)")
+    p.add_argument("--max-client-share", type=float, default=0.5,
+                   help="async front end: fraction of the admission "
+                        "window one client key (X-Client-Id or peer "
+                        "address) may occupy before its requests are "
+                        "shed (default 0.5)")
     p.add_argument("--verbose", action="store_true",
                    help="log one line per request")
     p.set_defaults(func=cmd_serve)

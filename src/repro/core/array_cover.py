@@ -169,6 +169,9 @@ class _ArrayCoverBase:
     the dense ids double as direct offsets — no hashing on hot paths.
     """
 
+    #: per-node tables mirrored by :meth:`cow_copy` (subclasses extend)
+    _TABLE_NAMES: Tuple[str, ...] = ("_lin", "_lout", "_inv_lin", "_inv_lout")
+
     def __init__(self, nodes: Iterable[Node] = ()) -> None:
         self.interner = NodeInterner()
         self._nodes: Set[int] = set()
@@ -176,7 +179,54 @@ class _ArrayCoverBase:
         self._lout: List[Optional[array]] = []
         self._inv_lin: List[Optional[array]] = []
         self._inv_lout: List[Optional[array]] = []
+        # COW bookkeeping: None outside forks; after cow_copy(), a dict
+        # mapping id(table) -> iids whose rows this instance privately
+        # owns (all other rows may be shared with the fork sibling)
+        self._cow: Optional[Dict[int, Set[int]]] = None
         self.add_nodes(nodes)
+
+    # -- copy-on-write plumbing -----------------------------------------
+    def _owned(self, table: List[Optional[array]], iid: int) -> Optional[array]:
+        """``table[iid]`` as a privately owned, mutable row.
+
+        Under COW a row still shared with the fork sibling is copied
+        (and recorded as owned) before being returned; ``None`` rows
+        pass through untouched (callers assign fresh arrays, which are
+        private by construction).
+        """
+        row = table[iid]
+        cow = self._cow
+        if cow is None or row is None:
+            return row
+        owned = cow[id(table)]
+        if iid not in owned:
+            row = row[:]
+            table[iid] = row
+            owned.add(iid)
+        return row
+
+    def cow_copy(self):
+        """Fork this cover, sharing unchanged label rows (see
+        :meth:`repro.core.cover.CoverProtocol.cow_copy`). Outer tables
+        and the interner are copied at pointer level; the sorted
+        ``array('i')`` rows stay shared until either side mutates them.
+        Subclasses (the vector backend) fork as their own type, with
+        the fork starting unsealed."""
+        clone = type(self)()
+        clone.interner = self.interner.copy()
+        clone._nodes = set(self._nodes)
+        for name in self._TABLE_NAMES:
+            setattr(clone, name, list(getattr(self, name)))
+        self._cow = {id(t): set() for t in self._tables()}
+        clone._cow = {id(t): set() for t in clone._tables()}
+        return clone
+
+    def __getstate__(self) -> Dict[str, object]:
+        # pickling deep-copies every row, so the unpickled instance owns
+        # all of them; the id()-keyed ownership map would be stale
+        state = self.__dict__.copy()
+        state["_cow"] = None
+        return state
 
     # -- id plumbing ----------------------------------------------------
     def _tables(self) -> Tuple[List[Optional[array]], ...]:
@@ -211,13 +261,13 @@ class _ArrayCoverBase:
         row = inv[center]
         if row is None:
             inv[center] = array(ID_TYPECODE, (node,))
-        else:
-            sorted_insert(row, node)
+        elif not sorted_contains(row, node):
+            sorted_insert(self._owned(inv, center), node)
 
     def _inv_discard(self, inv: List[Optional[array]], center: int, node: int) -> None:
         row = inv[center]
-        if row is not None:
-            sorted_remove(row, node)
+        if row is not None and sorted_contains(row, node):
+            sorted_remove(self._owned(inv, center), node)
 
     # -- disjoint merge --------------------------------------------------
     def preintern_sorted(self, labels: Iterable[Node]) -> None:
@@ -428,8 +478,10 @@ class ArrayTwoHopCover(_ArrayCoverBase):
         row = self._lin[ni]
         if row is None:
             self._lin[ni] = array(ID_TYPECODE, (ci,))
-        elif not sorted_insert(row, ci):
+        elif sorted_contains(row, ci):
             return False
+        else:
+            sorted_insert(self._owned(self._lin, ni), ci)
         self._inv_add(self._inv_lin, ci, ni)
         return True
 
@@ -446,8 +498,10 @@ class ArrayTwoHopCover(_ArrayCoverBase):
         row = self._lout[ni]
         if row is None:
             self._lout[ni] = array(ID_TYPECODE, (ci,))
-        elif not sorted_insert(row, ci):
+        elif sorted_contains(row, ci):
             return False
+        else:
+            sorted_insert(self._owned(self._lout, ni), ci)
         self._inv_add(self._inv_lout, ci, ni)
         return True
 
@@ -457,7 +511,8 @@ class ArrayTwoHopCover(_ArrayCoverBase):
         if ni is None or ci is None:
             return
         row = self._row(self._lin, ni)
-        if row is not None and sorted_remove(row, ci):
+        if row is not None and sorted_contains(row, ci):
+            sorted_remove(self._owned(self._lin, ni), ci)
             self._inv_discard(self._inv_lin, ci, ni)
 
     def discard_lout(self, node: Node, center: Node) -> None:
@@ -466,7 +521,8 @@ class ArrayTwoHopCover(_ArrayCoverBase):
         if ni is None or ci is None:
             return
         row = self._row(self._lout, ni)
-        if row is not None and sorted_remove(row, ci):
+        if row is not None and sorted_contains(row, ci):
+            sorted_remove(self._owned(self._lout, ni), ci)
             self._inv_discard(self._inv_lout, ci, ni)
 
     def _set_label(
@@ -513,14 +569,14 @@ class ArrayTwoHopCover(_ArrayCoverBase):
             if inv_row:
                 for ni in list(inv_row):
                     row = self._lin[ni]
-                    if row is not None:
-                        sorted_remove(row, iid)
+                    if row is not None and sorted_contains(row, iid):
+                        sorted_remove(self._owned(self._lin, ni), iid)
             inv_row = self._row(self._inv_lout, iid)
             if inv_row:
                 for ni in list(inv_row):
                     row = self._lout[ni]
-                    if row is not None:
-                        sorted_remove(row, iid)
+                    if row is not None and sorted_contains(row, iid):
+                        sorted_remove(self._owned(self._lout, ni), iid)
             self._inv_lin[iid] = None
             self._inv_lout[iid] = None
 
@@ -824,6 +880,8 @@ class ArrayDistanceCover(_ArrayCoverBase):
 
     is_distance_aware = True
 
+    _TABLE_NAMES = _ArrayCoverBase._TABLE_NAMES + ("_lin_dist", "_lout_dist")
+
     def __init__(self, nodes: Iterable[Node] = ()) -> None:
         self._lin_dist: List[Optional[array]] = []
         self._lout_dist: List[Optional[array]] = []
@@ -866,13 +924,12 @@ class ArrayDistanceCover(_ArrayCoverBase):
             return True
         i = bisect_left(centers, ci)
         if i < len(centers) and centers[i] == ci:
-            drow = dists[ni]
-            if dist < drow[i]:
-                drow[i] = dist
+            if dist < dists[ni][i]:
+                self._owned(dists, ni)[i] = dist
                 return True
             return False
-        centers.insert(i, ci)
-        dists[ni].insert(i, dist)
+        self._owned(table, ni).insert(i, ci)
+        self._owned(dists, ni).insert(i, dist)
         self._inv_add(inv, ci, ni)
         return True
 
@@ -904,8 +961,8 @@ class ArrayDistanceCover(_ArrayCoverBase):
             return
         i = bisect_left(centers, ci)
         if i < len(centers) and centers[i] == ci:
-            del centers[i]
-            del dists[ni][i]
+            del self._owned(table, ni)[i]
+            del self._owned(dists, ni)[i]
             self._inv_discard(inv, ci, ni)
 
     def discard_lin(self, node: Node, center: Node) -> None:

@@ -119,6 +119,15 @@ class CoverProtocol(Protocol):
         """A structurally independent deep copy of the cover."""
         ...
 
+    def cow_copy(self):
+        """A copy-on-write fork sharing unchanged label rows with
+        ``self``. Both sides stay safe to mutate afterwards: the first
+        in-place change to a shared row (on either side) privatises
+        that row first, so forks cost O(nodes) pointer copies instead
+        of O(cover size) row copies. Equivalent to :meth:`copy` for
+        every observable purpose."""
+        ...
+
     # queries
     def connected(self, u: Node, v: Node) -> bool:
         """Reachability test ``u ->* v`` via one label intersection."""
@@ -172,6 +181,53 @@ class TwoHopCover:
         # backward indexes: center -> set of nodes whose Lin/Lout holds it
         self._inv_lin: Dict[Node, Set[Node]] = {}
         self._inv_lout: Dict[Node, Set[Node]] = {}
+        # COW bookkeeping: None outside forks (single-branch fast path);
+        # after cow_copy(), a dict mapping table name -> keys whose rows
+        # this instance privately owns (everything else may be shared
+        # with the sibling and must be copied before in-place mutation)
+        self._cow: Optional[Dict[str, Set[Node]]] = None
+
+    # ------------------------------------------------------------------
+    # copy-on-write plumbing
+    # ------------------------------------------------------------------
+    def _owned_row(self, kind: str, table: Dict[Node, Set[Node]],
+                   key: Node) -> Set[Node]:
+        """``table[key]`` as a privately owned, mutable set.
+
+        Creates the row when absent; under COW a row still shared with
+        the fork sibling is copied (and recorded as owned) first.
+        """
+        row = table.get(key)
+        cow = self._cow
+        if row is None:
+            row = set()
+            table[key] = row
+            if cow is not None:
+                cow[kind].add(key)
+        elif cow is not None and key not in cow[kind]:
+            row = set(row)
+            table[key] = row
+            cow[kind].add(key)
+        return row
+
+    def cow_copy(self) -> "TwoHopCover":
+        """Fork this cover, sharing unchanged label rows (see
+        :meth:`CoverProtocol.cow_copy`). Outer tables are copied at
+        pointer level; inner center-sets stay shared until either side
+        mutates them."""
+        clone = TwoHopCover.__new__(TwoHopCover)
+        clone.nodes = set(self.nodes)
+        clone.lin = dict(self.lin)
+        clone.lout = dict(self.lout)
+        clone._inv_lin = dict(self._inv_lin)
+        clone._inv_lout = dict(self._inv_lout)
+        # every row is now shared between the two siblings — both sides
+        # restart ownership tracking from scratch
+        self._cow = {"lin": set(), "lout": set(),
+                     "inv_lin": set(), "inv_lout": set()}
+        clone._cow = {"lin": set(), "lout": set(),
+                      "inv_lin": set(), "inv_lout": set()}
+        return clone
 
     # ------------------------------------------------------------------
     # label mutation
@@ -192,11 +248,11 @@ class TwoHopCover:
         if node == center:
             return False
         self.nodes.add(node)
-        entries = self.lin.setdefault(node, set())
-        if center in entries:
+        entries = self.lin.get(node)
+        if entries is not None and center in entries:
             return False
-        entries.add(center)
-        self._inv_lin.setdefault(center, set()).add(node)
+        self._owned_row("lin", self.lin, node).add(center)
+        self._owned_row("inv_lin", self._inv_lin, center).add(node)
         return True
 
     def add_lout(self, node: Node, center: Node) -> bool:
@@ -207,44 +263,48 @@ class TwoHopCover:
         if node == center:
             return False
         self.nodes.add(node)
-        entries = self.lout.setdefault(node, set())
-        if center in entries:
+        entries = self.lout.get(node)
+        if entries is not None and center in entries:
             return False
-        entries.add(center)
-        self._inv_lout.setdefault(center, set()).add(node)
+        self._owned_row("lout", self.lout, node).add(center)
+        self._owned_row("inv_lout", self._inv_lout, center).add(node)
         return True
 
     def discard_lin(self, node: Node, center: Node) -> None:
         """Remove ``center`` from ``Lin(node)`` if present."""
         entries = self.lin.get(node)
         if entries and center in entries:
-            entries.discard(center)
-            self._inv_lin[center].discard(node)
+            self._owned_row("lin", self.lin, node).discard(center)
+            self._owned_row("inv_lin", self._inv_lin, center).discard(node)
 
     def discard_lout(self, node: Node, center: Node) -> None:
         """Remove ``center`` from ``Lout(node)`` if present."""
         entries = self.lout.get(node)
         if entries and center in entries:
-            entries.discard(center)
-            self._inv_lout[center].discard(node)
+            self._owned_row("lout", self.lout, node).discard(center)
+            self._owned_row("inv_lout", self._inv_lout, center).discard(node)
 
     def set_lin(self, node: Node, centers: Iterable[Node]) -> None:
         """Replace ``Lin(node)`` wholesale (used by Theorems 2 and 3)."""
         for c in self.lin.get(node, ()):
-            self._inv_lin[c].discard(node)
+            self._owned_row("inv_lin", self._inv_lin, c).discard(node)
         new = {c for c in centers if c != node}
         self.lin[node] = new
+        if self._cow is not None:
+            self._cow["lin"].add(node)
         for c in new:
-            self._inv_lin.setdefault(c, set()).add(node)
+            self._owned_row("inv_lin", self._inv_lin, c).add(node)
 
     def set_lout(self, node: Node, centers: Iterable[Node]) -> None:
         """Replace ``Lout(node)`` wholesale (used by Theorems 2 and 3)."""
         for c in self.lout.get(node, ()):
-            self._inv_lout[c].discard(node)
+            self._owned_row("inv_lout", self._inv_lout, c).discard(node)
         new = {c for c in centers if c != node}
         self.lout[node] = new
+        if self._cow is not None:
+            self._cow["lout"].add(node)
         for c in new:
-            self._inv_lout.setdefault(c, set()).add(node)
+            self._owned_row("inv_lout", self._inv_lout, c).add(node)
 
     def remove_nodes(self, removed: Set[Node]) -> None:
         """Drop nodes from the universe, their labels, and every label
@@ -297,10 +357,10 @@ class TwoHopCover:
                 self.lout[node] = set(centers)
         for center, carriers in other._inv_lin.items():
             if carriers:
-                self._inv_lin.setdefault(center, set()).update(carriers)
+                self._owned_row("inv_lin", self._inv_lin, center).update(carriers)
         for center, carriers in other._inv_lout.items():
             if carriers:
-                self._inv_lout.setdefault(center, set()).update(carriers)
+                self._owned_row("inv_lout", self._inv_lout, center).update(carriers)
 
     def copy(self) -> "TwoHopCover":
         """A structurally independent deep copy of the cover."""
@@ -456,6 +516,58 @@ class DistanceTwoHopCover:
         self.lout: Dict[Node, Dict[Node, int]] = {}
         self._inv_lin: Dict[Node, Set[Node]] = {}
         self._inv_lout: Dict[Node, Set[Node]] = {}
+        # COW bookkeeping (see TwoHopCover.__init__)
+        self._cow: Optional[Dict[str, Set[Node]]] = None
+
+    # ------------------------------------------------------------------
+    # copy-on-write plumbing
+    # ------------------------------------------------------------------
+    def _owned_row(self, kind: str, table: Dict[Node, Set[Node]],
+                   key: Node) -> Set[Node]:
+        """``table[key]`` (a backward-index set) privately owned."""
+        row = table.get(key)
+        cow = self._cow
+        if row is None:
+            row = set()
+            table[key] = row
+            if cow is not None:
+                cow[kind].add(key)
+        elif cow is not None and key not in cow[kind]:
+            row = set(row)
+            table[key] = row
+            cow[kind].add(key)
+        return row
+
+    def _owned_entries(self, kind: str, table: Dict[Node, Dict[Node, int]],
+                       key: Node) -> Dict[Node, int]:
+        """``table[key]`` (a ``{center: dist}`` label row) privately owned."""
+        row = table.get(key)
+        cow = self._cow
+        if row is None:
+            row = {}
+            table[key] = row
+            if cow is not None:
+                cow[kind].add(key)
+        elif cow is not None and key not in cow[kind]:
+            row = dict(row)
+            table[key] = row
+            cow[kind].add(key)
+        return row
+
+    def cow_copy(self) -> "DistanceTwoHopCover":
+        """Fork this cover, sharing unchanged label rows (see
+        :meth:`CoverProtocol.cow_copy`)."""
+        clone = DistanceTwoHopCover.__new__(DistanceTwoHopCover)
+        clone.nodes = set(self.nodes)
+        clone.lin = dict(self.lin)
+        clone.lout = dict(self.lout)
+        clone._inv_lin = dict(self._inv_lin)
+        clone._inv_lout = dict(self._inv_lout)
+        self._cow = {"lin": set(), "lout": set(),
+                     "inv_lin": set(), "inv_lout": set()}
+        clone._cow = {"lin": set(), "lout": set(),
+                      "inv_lin": set(), "inv_lout": set()}
+        return clone
 
     # ------------------------------------------------------------------
     # label mutation
@@ -473,11 +585,10 @@ class DistanceTwoHopCover:
         if node == center:
             return False
         self.nodes.add(node)
-        entries = self.lin.setdefault(node, {})
-        old = entries.get(center)
+        old = self.lin.get(node, {}).get(center)
         if old is None or dist < old:
-            entries[center] = dist
-            self._inv_lin.setdefault(center, set()).add(node)
+            self._owned_entries("lin", self.lin, node)[center] = dist
+            self._owned_row("inv_lin", self._inv_lin, center).add(node)
             return True
         return False
 
@@ -486,31 +597,34 @@ class DistanceTwoHopCover:
         if node == center:
             return False
         self.nodes.add(node)
-        entries = self.lout.setdefault(node, {})
-        old = entries.get(center)
+        old = self.lout.get(node, {}).get(center)
         if old is None or dist < old:
-            entries[center] = dist
-            self._inv_lout.setdefault(center, set()).add(node)
+            self._owned_entries("lout", self.lout, node)[center] = dist
+            self._owned_row("inv_lout", self._inv_lout, center).add(node)
             return True
         return False
 
     def set_lin(self, node: Node, entries: Dict[Node, int]) -> None:
         """Replace ``Lin(node)`` wholesale (used by Theorems 2 and 3)."""
         for c in self.lin.get(node, ()):
-            self._inv_lin[c].discard(node)
+            self._owned_row("inv_lin", self._inv_lin, c).discard(node)
         new = {c: d for c, d in entries.items() if c != node}
         self.lin[node] = new
+        if self._cow is not None:
+            self._cow["lin"].add(node)
         for c in new:
-            self._inv_lin.setdefault(c, set()).add(node)
+            self._owned_row("inv_lin", self._inv_lin, c).add(node)
 
     def set_lout(self, node: Node, entries: Dict[Node, int]) -> None:
         """Replace ``Lout(node)`` wholesale (used by Theorems 2 and 3)."""
         for c in self.lout.get(node, ()):
-            self._inv_lout[c].discard(node)
+            self._owned_row("inv_lout", self._inv_lout, c).discard(node)
         new = {c: d for c, d in entries.items() if c != node}
         self.lout[node] = new
+        if self._cow is not None:
+            self._cow["lout"].add(node)
         for c in new:
-            self._inv_lout.setdefault(c, set()).add(node)
+            self._owned_row("inv_lout", self._inv_lout, c).add(node)
 
     def remove_nodes(self, removed: Set[Node]) -> None:
         """Drop nodes from the universe, their labels, and every label entry using them as a center."""
@@ -523,12 +637,12 @@ class DistanceTwoHopCover:
         for v in removed:
             for node in list(self._inv_lin.get(v, ())):
                 entries = self.lin.get(node)
-                if entries:
-                    entries.pop(v, None)
+                if entries and v in entries:
+                    self._owned_entries("lin", self.lin, node).pop(v, None)
             for node in list(self._inv_lout.get(v, ())):
                 entries = self.lout.get(node)
-                if entries:
-                    entries.pop(v, None)
+                if entries and v in entries:
+                    self._owned_entries("lout", self.lout, node).pop(v, None)
             self._inv_lin.pop(v, None)
             self._inv_lout.pop(v, None)
 
@@ -558,10 +672,10 @@ class DistanceTwoHopCover:
                 self.lout[node] = dict(centers)
         for center, carriers in other._inv_lin.items():
             if carriers:
-                self._inv_lin.setdefault(center, set()).update(carriers)
+                self._owned_row("inv_lin", self._inv_lin, center).update(carriers)
         for center, carriers in other._inv_lout.items():
             if carriers:
-                self._inv_lout.setdefault(center, set()).update(carriers)
+                self._owned_row("inv_lout", self._inv_lout, center).update(carriers)
 
     def copy(self) -> "DistanceTwoHopCover":
         """A structurally independent deep copy of the cover."""
@@ -576,15 +690,15 @@ class DistanceTwoHopCover:
         """Remove ``center`` from ``Lin(node)`` if present."""
         entries = self.lin.get(node)
         if entries and center in entries:
-            del entries[center]
-            self._inv_lin[center].discard(node)
+            del self._owned_entries("lin", self.lin, node)[center]
+            self._owned_row("inv_lin", self._inv_lin, center).discard(node)
 
     def discard_lout(self, node: Node, center: Node) -> None:
         """Remove ``center`` from ``Lout(node)`` if present."""
         entries = self.lout.get(node)
         if entries and center in entries:
-            del entries[center]
-            self._inv_lout[center].discard(node)
+            del self._owned_entries("lout", self.lout, node)[center]
+            self._owned_row("inv_lout", self._inv_lout, center).discard(node)
 
     # ------------------------------------------------------------------
     # queries

@@ -176,6 +176,25 @@ class HopiIndex:
         dup._probe_costs = getattr(self, "_probe_costs", None)
         return dup
 
+    def cow_copy(self) -> "HopiIndex":
+        """A copy-on-write shadow of the index.
+
+        Observationally identical to :meth:`copy` but O(nodes) instead
+        of O(index): the collection is forked lazily (documents are
+        deep-copied only when a maintenance op touches them) and the
+        cover shares unchanged label rows with the published epoch
+        (:meth:`~repro.core.cover.CoverProtocol.cow_copy`). Both sides
+        stay safe to mutate — the first write to shared state on either
+        side privatises it first. Like :meth:`copy`, the shadow starts
+        with the same epoch and no change hooks.
+        """
+        dup = HopiIndex(
+            self.collection.fork(), self.cover.cow_copy(), stats=self.stats
+        )
+        dup.epoch = self.epoch
+        dup._probe_costs = getattr(self, "_probe_costs", None)
+        return dup
+
     @property
     def backend(self) -> str:
         """The label backend the cover lives in (``sets`` or ``arrays``)."""

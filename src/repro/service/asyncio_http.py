@@ -17,7 +17,15 @@ thread-per-connection model with:
   while at most ``queue_depth`` more wait for a pool slot; anything
   beyond that is *shed* immediately with a structured **429**
   ``{"error": {"code": "overloaded"}}`` — the client learns in
-  microseconds instead of queueing unboundedly;
+  microseconds instead of queueing unboundedly. Every shed response
+  (429 and 503) carries a ``Retry-After`` header and a
+  ``retry_after_seconds`` field in the error body, sized to the
+  current queue backlog;
+* **per-client fairness**: requests are attributed to a client key
+  (``X-Client-Id`` header, falling back to the peer address) and one
+  key may hold at most ``max_client_share`` of the admission window —
+  a single flooding client is shed (429, ``shed_client_cap``) while
+  well-behaved clients keep being admitted;
 * **per-endpoint timeouts**: a request that exceeds its endpoint's
   deadline answers a structured **503** ``{"error": {"code":
   "overloaded"}}`` (the evaluation thread finishes in the background
@@ -65,6 +73,8 @@ from repro.service.telemetry import Telemetry
 DEFAULT_MAX_INFLIGHT = 8
 #: default extra requests allowed to wait for a worker slot
 DEFAULT_QUEUE_DEPTH = 64
+#: default cap on one client key's share of the admission window
+DEFAULT_MAX_CLIENT_SHARE = 0.5
 
 #: per-endpoint deadlines (seconds); ``update`` is generous because an
 #: abandoned update still publishes — better to wait than to answer 503
@@ -106,6 +116,10 @@ class AsyncServiceServer:
         max_inflight: worker threads evaluating requests concurrently.
         queue_depth: additional admitted requests allowed to wait for a
             worker slot before new arrivals are shed with 429.
+        max_client_share: fraction of the admission window
+            (``max_inflight + queue_depth``) one client key may occupy
+            before its requests are shed with 429 — keeps a flooding
+            client from starving everyone else.
         timeouts: per-endpoint deadline overrides (seconds; merged over
             :data:`DEFAULT_TIMEOUTS`; ``None`` disables the deadline).
         telemetry: shared telemetry sink (one is created if omitted).
@@ -119,6 +133,7 @@ class AsyncServiceServer:
         *,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        max_client_share: float = DEFAULT_MAX_CLIENT_SHARE,
         timeouts: Optional[Dict[str, Optional[float]]] = None,
         telemetry: Optional[Telemetry] = None,
         verbose: bool = False,
@@ -128,9 +143,17 @@ class AsyncServiceServer:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         if queue_depth < 0:
             raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if not 0.0 < max_client_share <= 1.0:
+            raise ValueError(
+                f"max_client_share must be in (0, 1], got {max_client_share}"
+            )
         self.service = service
         self.max_inflight = max_inflight
         self.queue_depth = queue_depth
+        self.max_client_share = max_client_share
+        self.client_cap = max(
+            1, int((max_inflight + queue_depth) * max_client_share)
+        )
         self.timeouts = dict(DEFAULT_TIMEOUTS)
         if timeouts:
             self.timeouts.update(timeouts)
@@ -140,6 +163,9 @@ class AsyncServiceServer:
         self.max_requests = max_requests
 
         self._inflight = 0
+        # client key -> admitted requests; only touched on the event
+        # loop thread, so no lock is needed
+        self._per_client: Dict[str, int] = {}
         self._answered = 0
         self._pool = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-async-worker"
@@ -157,6 +183,7 @@ class AsyncServiceServer:
         )
         self.telemetry.set_gauge("max_inflight", max_inflight)
         self.telemetry.set_gauge("queue_limit", queue_depth)
+        self.telemetry.set_gauge("client_cap", self.client_cap)
 
     # -- lifecycle -------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
@@ -244,17 +271,20 @@ class AsyncServiceServer:
         payload: Dict[str, Any],
         *,
         keep_alive: bool = True,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         reason = _REASONS.get(status, "OK")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"{'' if keep_alive else 'Connection: close'}"
-            f"{'' if keep_alive else chr(13) + chr(10)}"
-            "\r\n"
-        )
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        if extra_headers:
+            lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
+        if not keep_alive:
+            lines.append("Connection: close")
+        head = "\r\n".join(lines) + "\r\n\r\n"
         writer.write(head.encode("latin-1") + body)
 
     async def _answer(
@@ -321,22 +351,51 @@ class AsyncServiceServer:
                 return keep_alive
 
         params = parse_qs(url.query)
-        status, payload = await self._dispatch(url.path, params, body)
-        self._write_response(writer, status, payload, keep_alive=keep_alive)
+        client = headers.get("x-client-id")
+        if not client:
+            peer = writer.get_extra_info("peername")
+            client = peer[0] if isinstance(peer, (tuple, list)) and peer else "?"
+        status, payload = await self._dispatch(url.path, params, body, client)
+        extra_headers = None
+        if isinstance(payload, dict):
+            hint = payload.get("retry_after_seconds")
+            if hint is not None:
+                extra_headers = {"Retry-After": str(hint)}
+        self._write_response(
+            writer, status, payload,
+            keep_alive=keep_alive, extra_headers=extra_headers,
+        )
         await _drain_quietly(writer)
         if self.verbose:  # pragma: no cover - interactive logging
             print(f"{method} {target} -> {status}", flush=True)
         return keep_alive
 
     # -- admission control + dispatch ------------------------------------
+    def _retry_after(self) -> int:
+        """Whole-seconds backoff hint for shed responses.
+
+        Rough time for the current backlog to drain — one queue's worth
+        of work per ``max_inflight`` workers, floored at one second so
+        clients never busy-spin on the hint.
+        """
+        queued = max(0, self._inflight - self.max_inflight)
+        return max(1, -(-queued // max(1, self.max_inflight)))
+
     async def _dispatch(
-        self, url_path: str, params: Dict[str, list], body: Optional[Any]
+        self,
+        url_path: str,
+        params: Dict[str, list],
+        body: Optional[Any],
+        client: str = "?",
     ) -> Tuple[int, Dict[str, Any]]:
         """Admission-control one request, then run the shared core.
 
         Control-plane endpoints bypass the gate entirely; everything
-        else is shed with a structured 429 when the queue is full and a
-        structured 503 when its endpoint deadline passes.
+        else is shed with a structured 429 when the queue (or the
+        caller's fair share of it) is full and a structured 503 when
+        its endpoint deadline passes. Shed responses carry a
+        ``retry_after_seconds`` hint mirrored into the ``Retry-After``
+        header by the transport.
         """
         name, v1 = route(url_path)
         loop = asyncio.get_running_loop()
@@ -358,10 +417,27 @@ class AsyncServiceServer:
                     ),
                 },
                 "retry": True,
+                "retry_after_seconds": self._retry_after(),
+            }
+
+        if self._per_client.get(client, 0) >= self.client_cap:
+            self.telemetry.counter("shed_client_cap")
+            self.telemetry.observe(name or "unknown", 0.0, 429)
+            return 429, {
+                "error": {
+                    "code": "overloaded",
+                    "message": (
+                        f"client {client!r} holds its full admission share "
+                        f"({self.client_cap} requests); retry later"
+                    ),
+                },
+                "retry": True,
+                "retry_after_seconds": self._retry_after(),
             }
 
         timeout = self.timeouts.get(name) if name is not None else 15.0
         self._inflight += 1
+        self._per_client[client] = self._per_client.get(client, 0) + 1
         t0 = time.perf_counter()
         try:
             future = loop.run_in_executor(
@@ -384,9 +460,15 @@ class AsyncServiceServer:
                     ),
                 },
                 "retry": True,
+                "retry_after_seconds": self._retry_after(),
             }
         finally:
             self._inflight -= 1
+            remaining = self._per_client.get(client, 1) - 1
+            if remaining <= 0:
+                self._per_client.pop(client, None)
+            else:
+                self._per_client[client] = remaining
 
 
 async def _drain_quietly(writer: asyncio.StreamWriter) -> None:

@@ -18,21 +18,39 @@ index:
    and are answered once per epoch.
 
 The write path (:meth:`QueryService.update`, :meth:`QueryService.apply`,
-:meth:`QueryService.reload_cover`) serialises on one writer lock,
-applies Section-6 maintenance to a deep-copied shadow index, and
-publishes it atomically — readers never wait and never observe a
-half-updated index. Failed update batches are discarded wholesale (the
-shadow is thrown away), so ``/update`` is all-or-nothing.
+:meth:`QueryService.reload_cover`) is a **group-commit loop over
+copy-on-write shadows**: concurrent ``/update`` batches queue on a
+pending list, one drainer forks the published index with
+:meth:`~repro.core.hopi.HopiIndex.cow_copy` (sharing unchanged label
+rows and documents instead of deep-copying them), applies every queued
+batch to that shadow, and publishes **once**. Each batch stays
+all-or-nothing — it runs against its own sub-fork, so a failing batch
+rolls back alone while its neighbours commit. Readers never wait and
+never observe a half-updated index.
+
+With a :class:`~repro.storage.wal.DurableIndexStore` attached, the
+drainer appends the applied wire-format ops to the update WAL (fsync)
+*before* publishing and checkpoints the snapshot on an interval, so a
+crashed server recovers its latest acknowledged epoch on restart.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.hopi import HopiIndex
+
+# the op vocabulary lives in the core layer so the WAL can replay it;
+# re-exported here because the shard router, the HTTP API, and older
+# callers import them from the service module
+from repro.core.ops import (  # noqa: F401  (re-exports)
+    UpdateError,
+    _apply_insert_document,
+    apply_update_op,
+)
 from repro.query.engine import Probe, QueryEngine, QueryResult, StepKey
 from repro.query.ontology import TagOntology
 from repro.query.pathexpr import PathExpression
@@ -43,92 +61,23 @@ from repro.service.epoch import EpochHolder, EpochState
 from repro.storage.snapshot import load_snapshot
 from repro.xmlmodel.model import ElementId
 
-
-class UpdateError(ValueError):
-    """A malformed or inapplicable ``/update`` operation (maps to 400)."""
-
-
 _MISSING = object()
 
 
-def apply_update_op(shadow: HopiIndex, op: Dict[str, Any]) -> Dict[str, Any]:
-    """Apply one ``/update`` wire-format operation to ``shadow``.
+@dataclass
+class _PendingBatch:
+    """One queued ``/update`` batch awaiting the group-commit drainer.
 
-    Module-level so every writer that maintains a shadow index speaks
-    the same op vocabulary — :meth:`QueryService.update` and the shard
-    router's generation builder both delegate here. Raises
-    :class:`UpdateError` (or the plain ``KeyError``/``ValueError``/...
-    family for malformed shapes, which callers wrap)."""
-    if not isinstance(op, dict) or "op" not in op:
-        raise UpdateError(f"operation must be a dict with an 'op' key: {op!r}")
-    kind = op["op"]
-    if kind == "insert_element":
-        eid = shadow.insert_element(int(op["parent"]), str(op["tag"]))
-        return {"op": kind, "element": eid}
-    if kind in ("insert_edge", "insert_link"):
-        report = shadow.insert_edge(int(op["source"]), int(op["target"]))
-        return {"op": kind, **asdict(report)}
-    if kind in ("delete_edge", "delete_link"):
-        report = shadow.delete_edge(int(op["source"]), int(op["target"]))
-        return {"op": kind, **asdict(report)}
-    if kind == "delete_document":
-        doc_id = str(op["doc_id"])
-        if doc_id not in shadow.collection.documents:
-            raise UpdateError(f"no document {doc_id!r}")
-        report = shadow.delete_document(doc_id)
-        return {"op": kind, **asdict(report)}
-    if kind == "insert_document":
-        return _apply_insert_document(shadow, op)
-    if kind == "rebuild":
-        kwargs = {k: v for k, v in op.items() if k != "op"}
-        shadow.rebuild(**kwargs)
-        return {"op": kind, "cover_size": shadow.cover.size}
-    raise UpdateError(f"unknown operation {kind!r}")
+    The submitting thread blocks on ``done``; the drainer fills either
+    ``reports`` (batch committed in the published epoch) or ``error``
+    (batch rolled back — its sub-fork was discarded) before setting it.
+    """
 
-
-def _apply_insert_document(
-    shadow: HopiIndex, op: Dict[str, Any]
-) -> Dict[str, Any]:
-    """Create a document in the shadow collection, then integrate it
-    with Section 6.1's new-partition rule."""
-    doc_id = str(op["doc_id"])
-    if doc_id in shadow.collection.documents:
-        raise UpdateError(f"document {doc_id!r} already exists")
-    root = shadow.collection.new_document(
-        doc_id, str(op.get("root_tag", "root"))
-    )
-    refs: Dict[str, ElementId] = {"root": root.eid}
-
-    def resolve(endpoint: Union[str, int]) -> ElementId:
-        if isinstance(endpoint, str):
-            if endpoint not in refs:
-                raise UpdateError(f"unknown element ref {endpoint!r}")
-            return refs[endpoint]
-        return int(endpoint)
-
-    for child in op.get("children", ()):
-        parent = resolve(child.get("parent", "root"))
-        if (
-            parent not in shadow.collection.elements
-            or shadow.collection.elements[parent].doc != doc_id
-        ):
-            # a child attached to another document would be added to
-            # the collection but never integrated into the cover by
-            # insert_document below — reject instead of corrupting
-            raise UpdateError(
-                f"child parent {parent!r} is not an element of the new "
-                f"document {doc_id!r}; connect to other documents via "
-                "'links'"
-            )
-        e = shadow.collection.add_child(parent, str(child["tag"]))
-        if "ref" in child:
-            refs[str(child["ref"])] = e.eid
-    # the new document's elements exist only in the collection so
-    # far; insert_document builds its local cover and unions it in
-    for source, target in op.get("links", ()):
-        shadow.collection.add_link(resolve(source), resolve(target))
-    report = shadow.insert_document(doc_id)
-    return {"op": "insert_document", "elements": refs, **asdict(report)}
+    ops: List[Dict[str, Any]]
+    done: threading.Event = field(default_factory=threading.Event)
+    reports: Optional[List[Dict[str, Any]]] = None
+    error: Optional[BaseException] = None
+    epoch: int = -1
 
 
 class _EpochProbe:
@@ -258,6 +207,12 @@ class QueryService:
         result_cache_size: entries in the ``(path, epoch)`` result LRU.
         probe_cache_size: per-epoch descendant-probe LRU entries.
         plan_cache_size: parsed-path LRU entries.
+        durable_store: optional
+            :class:`~repro.storage.wal.DurableIndexStore` — when set,
+            every committed ``/update`` batch is WAL-logged before its
+            epoch publishes, and the snapshot is checkpointed on the
+            store's interval (or immediately after non-loggable writes
+            via :meth:`apply` / :meth:`reload_cover`).
     """
 
     def __init__(
@@ -270,6 +225,7 @@ class QueryService:
         result_cache_size: int = 4096,
         probe_cache_size: int = 8192,
         plan_cache_size: int = 1024,
+        durable_store: Optional[Any] = None,
     ) -> None:
         self._ontology = ontology
         self._similarity_threshold = similarity_threshold
@@ -281,6 +237,9 @@ class QueryService:
         self._write_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._counters: Dict[str, int] = {}
+        self._pending: List[_PendingBatch] = []
+        self._pending_lock = threading.Lock()
+        self._durable = durable_store
         self._started = time.time()
         self._published_at = self._started
 
@@ -434,7 +393,7 @@ class QueryService:
         return state.epoch, state.index.distance(u, v)
 
     # ------------------------------------------------------------------
-    # write path: shadow + hot swap
+    # write path: group-commit over copy-on-write shadows
     # ------------------------------------------------------------------
     def _publish(self, shadow: HopiIndex) -> EpochState:
         state = self._make_state(shadow.epoch, shadow)
@@ -446,23 +405,36 @@ class QueryService:
         """Run an arbitrary maintenance function against a shadow and
         hot-swap it in.
 
-        ``mutator`` receives a deep copy of the published index and may
-        call any of its Section-6 maintenance methods (each bumps the
-        shadow's epoch); if it mutates without bumping, the epoch is
-        advanced for it. Readers are never blocked; the swap is atomic.
+        ``mutator`` receives a copy-on-write fork of the published index
+        (unchanged label rows and documents stay shared until first
+        write) and may call any of its Section-6 maintenance methods
+        (each bumps the shadow's epoch); if it mutates without bumping,
+        the epoch is advanced for it. Readers are never blocked; the
+        swap is atomic.
+
+        An arbitrary mutator is not expressible as wire-format ops, so
+        with a durable store attached this path forces a full snapshot
+        checkpoint instead of a WAL append.
 
         Returns:
             ``(new epoch, mutator's return value)``.
         """
         with self._write_lock:
             current = self._holder.current
-            shadow = current.index.copy()
+            shadow = current.index.cow_copy()
             result = mutator(shadow)
             if shadow.epoch <= current.epoch:
                 shadow.epoch = current.epoch + 1
             self._publish(shadow)
             self._count("update")
-            return shadow.epoch, result
+            if self._durable is not None:
+                self._durable.fire("published")
+                self._durable.checkpoint(shadow)
+            epoch = shadow.epoch
+        # batches that queued while we held the lock would otherwise
+        # strand until the next writer arrives
+        self._drain()
+        return epoch, result
 
     def update(self, ops: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         """Apply a batch of maintenance operations, all-or-nothing.
@@ -479,8 +451,11 @@ class QueryService:
           "links": [[ref-or-id, ref-or-id], ...]}``
         * ``{"op": "rebuild", ...build kwargs...}``
 
-        Any failure raises :class:`UpdateError` and discards the shadow:
-        the published index is untouched and the epoch does not advance.
+        Concurrent callers group-commit: their batches queue, one
+        drainer applies all of them to a single copy-on-write shadow
+        and publishes once. Each batch remains all-or-nothing — a
+        failure raises :class:`UpdateError` *for that batch only* and
+        discards its sub-fork; sibling batches still commit.
 
         Returns:
             ``{"epoch": new epoch, "applied": n, "reports": [...]}``.
@@ -488,20 +463,104 @@ class QueryService:
         ops = list(ops)
         if not ops:
             return {"epoch": self.epoch, "applied": 0, "reports": []}
+        batch = _PendingBatch(ops=ops)
+        with self._pending_lock:
+            self._pending.append(batch)
+        self._drain()
+        batch.done.wait()
+        if batch.error is not None:
+            raise batch.error
+        return {
+            "epoch": batch.epoch,
+            "applied": len(batch.reports),
+            "reports": batch.reports,
+        }
 
-        def run(shadow: HopiIndex) -> List[Dict[str, Any]]:
-            return [self._apply_op(shadow, op) for op in ops]
+    def _drain(self) -> None:
+        """Commit queued batches until the pending list is empty.
 
+        The writer lock is taken non-blocking: if another thread holds
+        it, it is mid-:meth:`_commit` and will re-enter this loop after
+        releasing, so our batch cannot strand — every path that
+        releases the lock re-checks the queue afterwards.
+        """
+        while True:
+            with self._pending_lock:
+                if not self._pending:
+                    return
+            if not self._write_lock.acquire(blocking=False):
+                return
+            try:
+                self._commit()
+            finally:
+                self._write_lock.release()
+
+    def _commit(self) -> None:
+        """Apply every queued batch to one COW shadow and publish once.
+
+        Called with the writer lock held. Each batch runs against its
+        own sub-fork of the accumulated shadow: success folds the fork
+        in, failure discards it — per-batch rollback without touching
+        neighbours. With a durable store, the applied ops are WAL-logged
+        (fsync) *before* the publish, so an acknowledged epoch survives
+        a crash.
+        """
+        with self._pending_lock:
+            batches, self._pending = self._pending, []
+        if not batches:
+            return
+        current = self._holder.current
+        shadow = current.index.cow_copy()
+        committed: List[_PendingBatch] = []
+        logged_ops: List[Dict[str, Any]] = []
+        for batch in batches:
+            trial = shadow.cow_copy()
+            try:
+                reports = [self._apply_op(trial, op) for op in batch.ops]
+            except UpdateError as exc:
+                batch.error = exc
+            except (KeyError, ValueError, TypeError, AttributeError) as exc:
+                # malformed op shapes (wrong types, missing fields,
+                # children that are not objects, ...) fail this batch
+                # as a 400 — its sub-fork is discarded
+                batch.error = UpdateError(f"update failed: {exc}")
+                batch.error.__cause__ = exc
+            else:
+                shadow = trial
+                batch.reports = reports
+                logged_ops.extend(batch.ops)
+                committed.append(batch)
         try:
-            epoch, reports = self.apply(run)
-        except UpdateError:
-            raise
-        except (KeyError, ValueError, TypeError, AttributeError) as exc:
-            # malformed op shapes (wrong types, missing fields, children
-            # that are not objects, ...) all fail the batch as a 400 —
-            # the shadow is discarded, the epoch does not advance
-            raise UpdateError(f"update failed: {exc}") from exc
-        return {"epoch": epoch, "applied": len(reports), "reports": reports}
+            if committed:
+                if shadow.epoch <= current.epoch:
+                    shadow.epoch = current.epoch + 1
+                if self._durable is not None:
+                    self._durable.log(shadow.epoch, logged_ops)
+                self._publish(shadow)
+                for batch in committed:
+                    batch.epoch = shadow.epoch
+                    self._count("update")
+                if self._durable is not None:
+                    self._durable.fire("published")
+                    if self._durable.checkpoint_due():
+                        self._durable.checkpoint(shadow)
+        except BaseException as exc:
+            # a crash hook (or store failure) fired mid-commit; the
+            # batches were not (durably) published — surface the fault
+            # to every caller still waiting instead of hanging them
+            delivered = False
+            for batch in batches:
+                if batch.error is None and batch.epoch < 0:
+                    batch.error = exc
+                    delivered = True
+            if not delivered:
+                # the epoch already published (e.g. the crash hook fired
+                # at the checkpoint boundary) — no waiter can carry the
+                # fault, so it surfaces from the drainer itself
+                raise
+        finally:
+            for batch in batches:
+                batch.done.set()
 
     def _apply_op(self, shadow: HopiIndex, op: Dict[str, Any]) -> Dict[str, Any]:
         return apply_update_op(shadow, op)
@@ -548,7 +607,13 @@ class QueryService:
             fresh.epoch = current.epoch + 1
             self._publish(fresh)
             self._count("reload")
-            return fresh.epoch
+            if self._durable is not None:
+                # a wholesale cover swap is not expressible as wire ops
+                self._durable.fire("published")
+                self._durable.checkpoint(fresh)
+            epoch = fresh.epoch
+        self._drain()
+        return epoch
 
     # ------------------------------------------------------------------
     # introspection

@@ -590,6 +590,11 @@ class ShardRouter:
             worker ``i % len(workers)``.
         fanout_timeout: per-shard answer deadline of one scatter before
             the request degrades (seconds).
+        durable_store: optional
+            :class:`~repro.storage.wal.DurableIndexStore` — update
+            batches are WAL-logged against the authoritative full index
+            before the new generation rolls out, same protocol as the
+            single-process service.
     """
 
     def __init__(
@@ -606,6 +611,7 @@ class ShardRouter:
         probe_cache_size: int = 8192,
         fanout_timeout: float = 30.0,
         connect_attempts: int = 4,
+        durable_store=None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -624,6 +630,7 @@ class ShardRouter:
         self._write_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._counters: Dict[str, int] = {}
+        self._durable = durable_store
         self._started = time.time()
         self._published_at = self._started
         self._swaps = 0
@@ -919,7 +926,9 @@ class ShardRouter:
             return {"epoch": self.epoch, "applied": 0, "reports": []}
         with self._write_lock:
             current = self._state
-            shadow = current.index.copy()
+            # COW fork: unchanged label rows and documents stay shared
+            # with the serving generation until an op dirties them
+            shadow = current.index.cow_copy()
             try:
                 reports = [apply_update_op(shadow, op) for op in ops]
             except UpdateError:
@@ -928,6 +937,8 @@ class ShardRouter:
                 raise UpdateError(f"update failed: {exc}") from exc
             generation = max(shadow.epoch, current.generation + 1)
             shadow.epoch = generation
+            if self._durable is not None:
+                self._durable.log(generation, ops)
             self._install_generation(generation, shadow)
             self._state = _RouterState(
                 generation=generation,
@@ -937,6 +948,10 @@ class ShardRouter:
             self._published_at = time.time()
             self._swaps += 1
             self._count("update")
+            if self._durable is not None:
+                self._durable.fire("published")
+                if self._durable.checkpoint_due():
+                    self._durable.checkpoint(shadow)
             return {
                 "epoch": generation,
                 "applied": len(reports),

@@ -127,10 +127,13 @@ class Telemetry:
             return dict(self._counters)
 
     def shed_total(self) -> int:
-        """Requests refused by admission control (queue-full + timeout)."""
+        """Requests refused by admission control (queue-full,
+        per-client cap, or timeout)."""
         with self._lock:
-            return self._counters.get("shed_queue_full", 0) + self._counters.get(
-                "shed_timeout", 0
+            return (
+                self._counters.get("shed_queue_full", 0)
+                + self._counters.get("shed_client_cap", 0)
+                + self._counters.get("shed_timeout", 0)
             )
 
     def snapshot(self) -> Dict[str, Any]:
@@ -162,8 +165,10 @@ class Telemetry:
             "gauges": evaluated,
             "shed": {
                 "queue_full": counters.get("shed_queue_full", 0),
+                "client_cap": counters.get("shed_client_cap", 0),
                 "timeout": counters.get("shed_timeout", 0),
                 "total": counters.get("shed_queue_full", 0)
+                + counters.get("shed_client_cap", 0)
                 + counters.get("shed_timeout", 0),
             },
         }

@@ -287,10 +287,21 @@ class SQLiteCoverStore(CoverStore):
 
 
 def persist_index(index: HopiIndex, path: str) -> SQLiteCoverStore:
-    """Write a built index (cover + collection) to a database file."""
+    """Write a built index (cover + collection) to a database file.
+
+    The index's epoch is stored alongside (META key ``epoch``), so a
+    reload — and the update WAL's replay-on-restart, which skips logged
+    records at or below the checkpointed epoch — can resume the epoch
+    sequence instead of restarting from zero.
+    """
     store = SQLiteCoverStore(path)
     store.save_collection(index.collection)
     store.save_cover(index.cover)
+    store._conn.execute(
+        "INSERT OR REPLACE INTO META (KEY, VALUE) VALUES ('epoch', ?)",
+        (str(index.epoch),),
+    )
+    store._conn.commit()
     return store
 
 
@@ -308,5 +319,8 @@ def load_index(path: str, *, backend: Optional[str] = None) -> HopiIndex:
         cover = store.load_cover()
         if backend is None:
             backend = store._meta("backend") or "sets"
+        epoch = int(store._meta("epoch") or "0")
     cover.add_nodes(collection.elements)
-    return HopiIndex(collection, convert_cover(cover, backend))
+    index = HopiIndex(collection, convert_cover(cover, backend))
+    index.epoch = epoch
+    return index

@@ -136,6 +136,47 @@ class Collection:
         self.elements: Dict[ElementId, Element] = {}
         self.inter_links: Set[Link] = set()
         self._next_id: ElementId = 0
+        # COW bookkeeping: documents shared with a fork sibling (see
+        # fork()); a shared document is deep-copied by _own_doc() before
+        # its first in-place mutation. Empty outside forks.
+        self._shared_docs: Set[DocId] = set()
+
+    # ------------------------------------------------------------------
+    # copy-on-write forking
+    # ------------------------------------------------------------------
+    def fork(self) -> "Collection":
+        """A copy-on-write fork of the collection.
+
+        Observationally identical to :meth:`copy` but O(documents)
+        instead of O(elements): ``Document`` and ``Element`` objects are
+        shared with the fork until a mutation touches them. ``Element``
+        objects are immutable after creation (maintenance only ever adds
+        or removes whole elements), so only documents need lazy
+        privatisation — both siblings mark every document shared and
+        deep-copy one on its first structural change.
+        """
+        clone = Collection.__new__(Collection)
+        clone.documents = dict(self.documents)
+        clone.elements = dict(self.elements)
+        clone.inter_links = set(self.inter_links)
+        clone._next_id = self._next_id
+        shared = set(self.documents)
+        clone._shared_docs = set(shared)
+        self._shared_docs = shared
+        return clone
+
+    def _own_doc(self, doc_id: DocId) -> Document:
+        """``documents[doc_id]``, deep-copied first if still shared with
+        a fork sibling."""
+        doc = self.documents[doc_id]
+        if doc_id in self._shared_docs:
+            dup = Document(doc_id, doc.root)
+            dup.elements = set(doc.elements)
+            dup.children = {p: list(kids) for p, kids in doc.children.items()}
+            dup.intra_links = set(doc.intra_links)
+            self.documents[doc_id] = doc = dup
+            self._shared_docs.discard(doc_id)
+        return doc
 
     # ------------------------------------------------------------------
     # construction
@@ -158,7 +199,7 @@ class Collection:
         """Append a child element under ``parent``; returns the new element."""
         p = self.elements[parent]
         e = self._allocate(tag, p.doc, parent)
-        self.documents[p.doc].add_child(parent, e.eid)
+        self._own_doc(p.doc).add_child(parent, e.eid)
         return e
 
     def add_link(self, source: ElementId, target: ElementId) -> None:
@@ -166,7 +207,7 @@ class Collection:
         sdoc = self.elements[source].doc
         tdoc = self.elements[target].doc
         if sdoc == tdoc:
-            self.documents[sdoc].add_intra_link(source, target)
+            self._own_doc(sdoc).add_intra_link(source, target)
         else:
             self.inter_links.add((source, target))
 
@@ -174,7 +215,9 @@ class Collection:
         sdoc = self.elements[source].doc
         tdoc = self.elements[target].doc
         if sdoc == tdoc:
-            self.documents[sdoc].intra_links.discard((source, target))
+            doc = self.documents[sdoc]
+            if (source, target) in doc.intra_links:
+                self._own_doc(sdoc).intra_links.discard((source, target))
         else:
             self.inter_links.discard((source, target))
 
@@ -185,6 +228,7 @@ class Collection:
             The set of element ids that were removed.
         """
         doc = self.documents.pop(doc_id)
+        self._shared_docs.discard(doc_id)
         removed = set(doc.elements)
         for e in removed:
             del self.elements[e]

@@ -59,17 +59,27 @@ def fetch(base, path, *, body=None, raw_body=None):
     payload probes). HTTP errors are decoded, not raised — error bodies
     are part of the parity contract.
     """
+    status, payload, _ = fetch_full(base, path, body=body, raw_body=raw_body)
+    return status, payload
+
+
+def fetch_full(base, path, *, body=None, raw_body=None, headers=None):
+    """Like :func:`fetch` but returns ``(status, payload, headers)`` —
+    response headers matter for the Retry-After contract — and sends
+    optional request headers (client identity for fairness tests)."""
     url = base + path
     if body is None and raw_body is None:
-        request = urllib.request.Request(url)
+        request = urllib.request.Request(url, headers=headers or {})
     else:
         data = raw_body if raw_body is not None else json.dumps(body).encode()
-        request = urllib.request.Request(url, data=data, method="POST")
+        request = urllib.request.Request(
+            url, data=data, method="POST", headers=headers or {}
+        )
     try:
         with urllib.request.urlopen(request, timeout=30) as resp:
-            return resp.status, json.loads(resp.read())
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
 
 
 #: timing fields that legitimately differ between two front ends
@@ -272,6 +282,11 @@ class TestOverload:
             o.error_code == "overloaded"
             for o in report.outcomes if o.status == 429
         )
+        # every shed answer carries a usable backoff hint
+        assert all(
+            o.retry_after is not None and o.retry_after >= 1
+            for o in report.outcomes if o.status in (429, 503)
+        ), summary
         assert len(swaps) == 3  # the writer completed through the burst
 
     def test_shed_requests_are_fast_and_counted(self, base_index):
@@ -292,7 +307,7 @@ class TestOverload:
             blocker.start()
             time.sleep(0.05)  # let it claim the slot
             t0 = time.perf_counter()
-            status, payload = fetch(
+            status, payload, resp_headers = fetch_full(
                 handle.base_url, "/v1/query?path=//article//cite"
             )
             shed_elapsed = time.perf_counter() - t0
@@ -300,6 +315,12 @@ class TestOverload:
 
             assert status == 429
             assert payload["error"]["code"] == "overloaded"
+            # a shed response tells the client when to come back, in
+            # both the structured body and the standard header
+            assert payload["retry_after_seconds"] >= 1
+            assert resp_headers["Retry-After"] == str(
+                payload["retry_after_seconds"]
+            )
             bound = 2.0 if IN_CI else 0.15
             assert shed_elapsed < bound, shed_elapsed
 
@@ -315,12 +336,16 @@ class TestOverload:
             service, max_inflight=2, queue_depth=2,
             timeouts={"query": 0.05},
         ) as handle:
-            status, payload = fetch(
+            status, payload, resp_headers = fetch_full(
                 handle.base_url, "/v1/query?path=//article//author"
             )
             assert status == 503
             assert payload["error"]["code"] == "overloaded"
             assert payload["retry"] is True
+            assert payload["retry_after_seconds"] >= 1
+            assert resp_headers["Retry-After"] == str(
+                payload["retry_after_seconds"]
+            )
             _, metrics = fetch(handle.base_url, "/v1/metrics")
             assert metrics["shed"]["timeout"] >= 1
 
@@ -349,6 +374,80 @@ class TestOverload:
             assert metrics["gauges"]["inflight"] >= 1  # saw the busy worker
             bound = 2.0 if IN_CI else 0.4
             assert elapsed < bound, elapsed
+
+
+# ---------------------------------------------------------------------------
+# per-client fairness
+# ---------------------------------------------------------------------------
+
+
+class TestPerClientFairness:
+    def test_flooding_client_cannot_starve_another(self, base_index):
+        """One client key may hold at most ``max_client_share`` of the
+        admission window: a flooder is shed at its cap (429,
+        ``shed_client_cap``) while a second client's request is still
+        admitted and answered."""
+        service = SlowService(QueryService(base_index.copy()), delay=0.3)
+        with start_in_thread(
+            service, max_inflight=1, queue_depth=3, max_client_share=0.5
+        ) as handle:
+            # window = 1 + 3 = 4 slots; cap = 2 per client key
+            flood_results = []
+            flood_lock = threading.Lock()
+
+            def flood():
+                result = fetch_full(
+                    handle.base_url, "/v1/query?path=//article//author",
+                    headers={"X-Client-Id": "flooder"},
+                )
+                with flood_lock:
+                    flood_results.append(result)
+
+            threads = [
+                threading.Thread(target=flood, daemon=True) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.1)  # let the flood fill (and overflow) its share
+            status, payload, _ = fetch_full(
+                handle.base_url, "/v1/query?path=//article//cite",
+                headers={"X-Client-Id": "polite"},
+            )
+            for t in threads:
+                t.join(timeout=15)
+
+            # the polite client rode the flooder's unreachable slots
+            assert status == 200, payload
+            shed = [r for r in flood_results if r[0] == 429]
+            served = [r for r in flood_results if r[0] == 200]
+            assert shed, [r[0] for r in flood_results]
+            assert served, [r[0] for r in flood_results]
+            for _, body, resp_headers in shed:
+                assert body["error"]["code"] == "overloaded"
+                assert body["retry_after_seconds"] >= 1
+                assert resp_headers["Retry-After"] == str(
+                    body["retry_after_seconds"]
+                )
+            _, metrics = fetch(handle.base_url, "/v1/metrics")
+            assert metrics["shed"]["client_cap"] >= 1
+            assert metrics["shed"]["total"] >= 1
+            assert metrics["gauges"]["client_cap"] == 2
+
+    def test_distinct_clients_share_the_window(self, base_index):
+        """Two clients below their caps are both admitted — the cap
+        binds per key, not globally."""
+        service = SlowService(QueryService(base_index.copy()), delay=0.05)
+        with start_in_thread(
+            service, max_inflight=2, queue_depth=2, max_client_share=0.5
+        ) as handle:
+            for client in ("alpha", "beta", "alpha", "beta"):
+                status, payload, _ = fetch_full(
+                    handle.base_url, "/v1/query?path=//article//author",
+                    headers={"X-Client-Id": client},
+                )
+                assert status == 200, (client, payload)
+            _, metrics = fetch(handle.base_url, "/v1/metrics")
+            assert metrics["shed"]["client_cap"] == 0
 
 
 # ---------------------------------------------------------------------------

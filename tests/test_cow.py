@@ -1,0 +1,208 @@
+"""Copy-on-write forks: bit-identity with deep copies, zero leakage.
+
+The COW invariants under test are the write path's correctness core:
+
+1. **Bit-identity.** An epoch produced by applying Section-6
+   maintenance to a ``cow_copy()`` fork must serialise to exactly the
+   same canonical snapshot bytes as one produced from a deep ``copy()``
+   — across every label backend and workload shape.
+2. **No leakage.** Mutating a fork never changes the published
+   original (and vice versa): shared rows are privatised on first
+   write, whole-row replacements never alias, the collection's shared
+   documents are owned before their first mutation.
+3. **Chained forks.** The group-commit drainer forks a fork per
+   sub-batch; privatisation must hold at every depth.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.hopi import BACKENDS, HopiIndex
+from repro.core.ops import apply_update_op
+from repro.storage.snapshot import canonical_snapshot_bytes
+from repro.xmlmodel.generator import dblp_like, inex_like
+
+WORKLOADS = {
+    "dblp": lambda: dblp_like(12, seed=7),
+    "inex": lambda: inex_like(6, elements_per_doc=40, seed=7),
+}
+
+
+def build(workload, backend, *, distance=False):
+    return HopiIndex.build(
+        WORKLOADS[workload](), backend=backend, distance=distance,
+        strategy="recursive", partitioner="node_weight", partition_limit=60,
+    )
+
+
+def section6_ops(index):
+    """A deterministic Section-6 maintenance sequence touching every
+    op family, derived from whatever the index actually contains."""
+    collection = index.collection
+    docs = sorted(collection.documents)
+    roots = [collection.documents[d].root for d in docs]
+    return [
+        {"op": "insert_element", "parent": roots[0], "tag": "note"},
+        {"op": "insert_edge", "source": roots[1], "target": roots[2]},
+        {"op": "insert_edge", "source": roots[0], "target": roots[3]},
+        {"op": "delete_edge", "source": roots[1], "target": roots[2]},
+        {
+            "op": "insert_document", "doc_id": "cow-doc", "root_tag": "article",
+            "children": [{"ref": "a", "parent": "root", "tag": "author"}],
+            "links": [["a", roots[0]]],
+        },
+        {"op": "delete_document", "doc_id": docs[4]},
+    ]
+
+
+def snap(index):
+    return canonical_snapshot_bytes(index.cover)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+class TestBitIdentity:
+    def test_cow_epoch_matches_deep_copy_epoch(self, workload, backend):
+        index = build(workload, backend)
+        baseline = snap(index)
+
+        deep = index.copy()
+        cow = index.cow_copy()
+        for op in section6_ops(index):
+            apply_update_op(deep, op)
+        for op in section6_ops(index):
+            apply_update_op(cow, op)
+
+        assert snap(cow) == snap(deep)
+        # the published original saw none of it
+        assert snap(index) == baseline
+        cow.verify()  # BFS-closure oracle audit
+
+    def test_fork_isolation_both_directions(self, workload, backend):
+        index = build(workload, backend)
+        fork = index.cow_copy()
+        baseline = snap(index)
+        docs = sorted(index.collection.documents)
+        root = index.collection.documents[docs[0]].root
+
+        fork.insert_element(root, "forked")
+        assert snap(index) == baseline
+
+        # mutating the original must not bleed into the fork either
+        # (both sides of a fork track their own owned rows)
+        fork_bytes = snap(fork)
+        index.insert_element(root, "original")
+        assert snap(fork) == fork_bytes
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+class TestChainedForks:
+    def test_fork_of_fork_privatises_at_every_depth(self, backend):
+        """The group-commit pattern: shadow → per-batch trial forks."""
+        index = build("dblp", backend)
+        baseline = snap(index)
+        ops = section6_ops(index)
+
+        shadow = index.cow_copy()
+        for op in ops[:3]:
+            apply_update_op(shadow, op)
+        mid = snap(shadow)
+
+        trial = shadow.cow_copy()
+        for op in ops[3:]:
+            apply_update_op(trial, op)
+
+        assert snap(index) == baseline
+        assert snap(shadow) == mid  # the failed/later batch never leaked up
+
+        # equivalent single deep-copy application
+        deep = index.copy()
+        for op in ops:
+            apply_update_op(deep, op)
+        assert snap(trial) == snap(deep)
+
+    def test_discarded_trial_rolls_back_alone(self, backend):
+        index = build("dblp", backend)
+        shadow = index.cow_copy()
+        docs = sorted(shadow.collection.documents)
+        root = shadow.collection.documents[docs[0]].root
+        shadow.insert_element(root, "kept")
+        committed = snap(shadow)
+
+        trial = shadow.cow_copy()
+        trial.insert_element(root, "doomed")
+        trial.delete_document(docs[1])
+        del trial  # batch failed: its fork is simply dropped
+
+        assert snap(shadow) == committed
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_distance_cover_cow_matches_deep_copy(backend):
+    index = build("dblp", backend, distance=True)
+    baseline = snap(index)
+    deep = index.copy()
+    cow = index.cow_copy()
+    for op in section6_ops(index):
+        apply_update_op(deep, op)
+        apply_update_op(cow, op)
+    assert snap(cow) == snap(deep)
+    assert snap(index) == baseline
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_random_op_fuzz_never_leaks(backend):
+    """Property check: arbitrary interleavings of fork mutations keep
+    the published epoch's bytes frozen and stay bit-identical to the
+    deep-copy twin replaying the same sequence."""
+    rng = random.Random(20260808)
+    index = build("dblp", backend)
+    baseline = snap(index)
+    deep = index.copy()
+    cow = index.cow_copy()
+
+    for step in range(40):
+        collection = cow.collection
+        docs = sorted(collection.documents)
+        roots = [collection.documents[d].root for d in docs]
+        kind = rng.choice(["insert_element", "insert_edge", "delete_edge"])
+        if kind == "insert_element":
+            op = {
+                "op": kind,
+                "parent": rng.choice(roots),
+                "tag": f"t{step}",
+            }
+        else:
+            u, v = rng.sample(roots, 2)
+            op = {"op": kind, "source": u, "target": v}
+        try:
+            apply_update_op(cow, op)
+        except (KeyError, ValueError):
+            # e.g. deleting an absent edge — must fail identically
+            with pytest.raises((KeyError, ValueError)):
+                apply_update_op(deep, op)
+            continue
+        apply_update_op(deep, op)
+        assert snap(index) == baseline, f"leak at step {step}: {op}"
+
+    assert snap(cow) == snap(deep)
+    cow.verify()
+
+
+def test_forked_array_cover_survives_pickle():
+    """Pickling deep-copies rows, so the ``id()``-keyed owned-row
+    bookkeeping must not travel with the cover."""
+    index = build("dblp", "arrays")
+    fork = index.cow_copy()
+    docs = sorted(fork.collection.documents)
+    root = fork.collection.documents[docs[0]].root
+    fork.insert_element(root, "pickled")
+
+    revived = pickle.loads(pickle.dumps(fork.cover))
+    assert canonical_snapshot_bytes(revived) == snap(fork)
+    # a revived cover is fully private: mutating it cannot touch the fork
+    before = snap(fork)
+    revived.add_lin(next(iter(revived.nodes)), next(iter(revived.nodes)))
+    assert snap(fork) == before

@@ -108,7 +108,7 @@ class TestTelemetry:
         t.counter("shed_queue_full", 3)
         t.counter("shed_timeout", 2)
         assert t.snapshot()["shed"] == {
-            "queue_full": 3, "timeout": 2, "total": 5,
+            "queue_full": 3, "client_cap": 0, "timeout": 2, "total": 5,
         }
 
     def test_default_window(self):
