@@ -229,6 +229,142 @@ def measure_rpc_loopback(
     }
 
 
+def bench_build_collections(
+    scale: Optional[float] = None,
+) -> Dict[str, tuple]:
+    """The build suite's collection axis: ``name -> (collection,
+    partition limit)``. Shared by :func:`run_build_benchmark` and the
+    matrix runner so both sweep the identical product."""
+    scale = workload_scale() if scale is None else scale
+    collections = {
+        "INEX": (bench_inex(3 * scale), 16),
+        "INEX-linked": (bench_inex_linked(3 * scale), 16),
+        "DBLP": (bench_dblp(scale), 16),
+    }
+    return {
+        name: (
+            collection,
+            max(collection.num_elements // divisor, 1),
+        )
+        for name, (collection, divisor) in collections.items()
+    }
+
+
+def measure_build_cell(
+    name: str,
+    collection: Collection,
+    *,
+    backend: str,
+    limit: int,
+    workers: int = DEFAULT_WORKERS,
+    repeats: int = 3,
+    measured: Optional[bool] = None,
+) -> Dict[str, object]:
+    """One ``collection x backend`` cell of the offline-build matrix.
+
+    Runs the serial and the ``workers``-process leg ``repeats`` times
+    each, keeps the fastest (the usual defence against scheduler
+    noise), identity-checks every repetition's cover against its
+    serial twin, and folds in the parallel-join sub-study. Returns the
+    per-backend row of the ``BENCH_build.json`` shape plus the cell's
+    ``reference_entries`` and partition stats (the RPC-loopback cell
+    and the collection header reuse them).
+    """
+    if measured is None:
+        measured = host_cpus() >= 2
+    serial = parallel = None
+    reference_entries = None
+    identical = True
+    for _ in range(max(repeats, 1)):
+        s_run = _build(
+            collection, backend=backend, workers=None,
+            partition_limit=limit,
+        )
+        p_run = _build(
+            collection, backend=backend, workers=workers,
+            partition_limit=limit,
+        )
+        # the recorded flag is the conjunction of the per-run
+        # comparisons — every repetition is checked, and any
+        # divergence (even a flaky one) is a hard error
+        reference_entries = sorted(s_run.cover.entries())
+        identical = identical and reference_entries == sorted(
+            p_run.cover.entries()
+        )
+        if not identical:
+            raise RuntimeError(
+                f"{name}/{backend}: parallel build diverged from serial"
+            )
+        if serial is None or (
+            s_run.stats.seconds_total < serial.stats.seconds_total
+        ):
+            serial = s_run
+        if parallel is None or (
+            p_run.stats.seconds_total < parallel.stats.seconds_total
+        ):
+            parallel = p_run
+    ss, ps = serial.stats, parallel.stats
+    join_parallel = measure_join_parallel(
+        collection,
+        backend=backend,
+        workers=workers,
+        partition_limit=limit,
+        serial_join_seconds=ss.seconds_join,
+        reference_entries=reference_entries,
+        measured=measured,
+        measured_stats=ps,
+    )
+    serial_compute = sum(ss.partition_cover_seconds)
+    if measured:
+        parallel_seconds = ps.seconds_total
+    else:
+        # all overhead (pool spawn, pickle, wire encode/decode,
+        # backend conversion) stays serial in the model; only
+        # the clean serial per-partition times are scheduled
+        # onto `workers` bins.
+        overhead = max(
+            ps.seconds_total
+            - ps.seconds_partitioning
+            - ps.seconds_join
+            - serial_compute,
+            0.0,
+        )
+        parallel_seconds = (
+            ps.seconds_partitioning
+            + ps.seconds_join
+            + lpt_makespan(ss.partition_cover_seconds, workers)
+            + overhead
+        )
+    row = {
+        "serial_seconds": round(ss.seconds_total, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "parallel_measured_seconds": round(ps.seconds_total, 4),
+        "speedup": round(ss.seconds_total / max(parallel_seconds, 1e-9), 2),
+        "covers_identical": identical,
+        "cover_size": ss.cover_size,
+        "phases_serial": {
+            "partitioning": round(ss.seconds_partitioning, 4),
+            "partition_covers": round(ss.seconds_partition_covers, 4),
+            "join": round(ss.seconds_join, 4),
+        },
+        "phases_parallel": {
+            "partitioning": round(ps.seconds_partitioning, 4),
+            "partition_covers": round(ps.seconds_partition_covers, 4),
+            "join": round(ps.seconds_join, 4),
+        },
+        "partition_cover_seconds_max": round(
+            max(ss.partition_cover_seconds, default=0.0), 4
+        ),
+        "join_parallel": join_parallel,
+    }
+    return {
+        "row": row,
+        "reference_entries": reference_entries,
+        "num_partitions": ss.num_partitions,
+        "num_cross_links": ss.num_cross_links,
+    }
+
+
 def run_build_benchmark(
     *,
     workers: int = DEFAULT_WORKERS,
@@ -242,15 +378,12 @@ def run_build_benchmark(
     identity-checked regardless). Returns the structured result that
     :func:`emit_bench_build_entry` appends to ``BENCH_build.json``;
     raises if any parallel build's cover differs from its serial twin.
+    The matrix runner drives the same :func:`measure_build_cell` core
+    one ``collection x backend`` cell at a time.
     """
-    scale = workload_scale()
     cpus = host_cpus()
     measured = cpus >= 2
-    collections = {
-        "INEX": (bench_inex(3 * scale), 16),
-        "INEX-linked": (bench_inex_linked(3 * scale), 16),
-        "DBLP": (bench_dblp(scale), 16),
-    }
+    collections = bench_build_collections()
     result: Dict[str, object] = {
         "workers": workers,
         "host_cpus": cpus,
@@ -259,104 +392,25 @@ def run_build_benchmark(
     }
     rpc_reference = None
     rpc_limit = 1
-    for name, (collection, limit_divisor) in collections.items():
-        limit = max(collection.num_elements // limit_divisor, 1)
+    for name, (collection, limit) in collections.items():
         per_backend: Dict[str, object] = {}
+        cell = None
         for backend in backends:
-            serial = parallel = None
-            reference_entries = None
-            identical = True
-            for _ in range(max(repeats, 1)):
-                s_run = _build(
-                    collection, backend=backend, workers=None,
-                    partition_limit=limit,
-                )
-                p_run = _build(
-                    collection, backend=backend, workers=workers,
-                    partition_limit=limit,
-                )
-                # the recorded flag is the conjunction of the per-run
-                # comparisons — every repetition is checked, and any
-                # divergence (even a flaky one) is a hard error
-                reference_entries = sorted(s_run.cover.entries())
-                identical = identical and reference_entries == sorted(
-                    p_run.cover.entries()
-                )
-                if not identical:
-                    raise RuntimeError(
-                        f"{name}/{backend}: parallel build diverged from serial"
-                    )
-                if serial is None or (
-                    s_run.stats.seconds_total < serial.stats.seconds_total
-                ):
-                    serial = s_run
-                if parallel is None or (
-                    p_run.stats.seconds_total < parallel.stats.seconds_total
-                ):
-                    parallel = p_run
-            if name == JOIN_HEADLINE and backend == HEADLINE_BACKEND:
-                rpc_reference = reference_entries
-                rpc_limit = limit
-            ss, ps = serial.stats, parallel.stats
-            join_parallel = measure_join_parallel(
-                collection,
-                backend=backend,
-                workers=workers,
-                partition_limit=limit,
-                serial_join_seconds=ss.seconds_join,
-                reference_entries=reference_entries,
-                measured=measured,
-                measured_stats=ps,
+            cell = measure_build_cell(
+                name, collection,
+                backend=backend, limit=limit, workers=workers,
+                repeats=repeats, measured=measured,
             )
-            serial_compute = sum(ss.partition_cover_seconds)
-            if measured:
-                parallel_seconds = ps.seconds_total
-            else:
-                # all overhead (pool spawn, pickle, wire encode/decode,
-                # backend conversion) stays serial in the model; only
-                # the clean serial per-partition times are scheduled
-                # onto `workers` bins.
-                overhead = max(
-                    ps.seconds_total
-                    - ps.seconds_partitioning
-                    - ps.seconds_join
-                    - serial_compute,
-                    0.0,
-                )
-                parallel_seconds = (
-                    ps.seconds_partitioning
-                    + ps.seconds_join
-                    + lpt_makespan(ss.partition_cover_seconds, workers)
-                    + overhead
-                )
-            per_backend[backend] = {
-                "serial_seconds": round(ss.seconds_total, 4),
-                "parallel_seconds": round(parallel_seconds, 4),
-                "parallel_measured_seconds": round(ps.seconds_total, 4),
-                "speedup": round(ss.seconds_total / max(parallel_seconds, 1e-9), 2),
-                "covers_identical": identical,
-                "cover_size": ss.cover_size,
-                "phases_serial": {
-                    "partitioning": round(ss.seconds_partitioning, 4),
-                    "partition_covers": round(ss.seconds_partition_covers, 4),
-                    "join": round(ss.seconds_join, 4),
-                },
-                "phases_parallel": {
-                    "partitioning": round(ps.seconds_partitioning, 4),
-                    "partition_covers": round(ps.seconds_partition_covers, 4),
-                    "join": round(ps.seconds_join, 4),
-                },
-                "partition_cover_seconds_max": round(
-                    max(ss.partition_cover_seconds, default=0.0), 4
-                ),
-                "join_parallel": join_parallel,
-            }
+            per_backend[backend] = cell["row"]
+            if name == JOIN_HEADLINE and backend == HEADLINE_BACKEND:
+                rpc_reference = cell["reference_entries"]
+                rpc_limit = limit
         result["collections"][name] = {
             "documents": collection.num_documents,
             "elements": collection.num_elements,
             "links": collection.num_links,
-            "num_partitions": serial.stats.num_partitions,
-            "num_cross_links": serial.stats.num_cross_links,
+            "num_partitions": cell["num_partitions"],
+            "num_cross_links": cell["num_cross_links"],
             "partition_limit": limit,
             "backends": per_backend,
         }

@@ -436,6 +436,51 @@ def descendant_step_workload(
     return sources, sorted(candidates)
 
 
+def measure_backend_cell(
+    base: HopiIndex,
+    collection: Collection,
+    sources: Sequence[int],
+    candidates: Sequence[int],
+    backend: str,
+) -> Tuple[BackendQueryRow, List[List[bool]]]:
+    """One ``descendant-step x backend`` matrix cell.
+
+    The cover is converted (never rebuilt) from ``base`` so the
+    measurement isolates the representation; returns the timing row
+    plus the raw answers so the caller can cross-check backends
+    bit-for-bit (a perf win that changes answers is a bug, not a win).
+    """
+    cover = convert_cover(base.cover, backend)
+    index = HopiIndex(collection, cover)
+    # warm per-backend lazy state (the vector backend seals its CSR
+    # slabs on the first probe; billing the one-off seal to the
+    # first source would distort the latency percentiles)
+    index.connected_many(sources[0], candidates)
+    latencies: List[float] = []
+    got: List[List[bool]] = []
+    t_total = time.perf_counter()
+    for s in sources:
+        t0 = time.perf_counter()
+        got.append(index.connected_many(s, candidates))
+        latencies.append(time.perf_counter() - t0)
+    total = time.perf_counter() - t_total
+    latencies.sort()
+    n = len(latencies)
+    p50 = latencies[n // 2]
+    p95 = latencies[min(n - 1, max(0, math.ceil(n * 0.95) - 1))]  # nearest rank
+    row = BackendQueryRow(
+        backend=backend,
+        queries=len(sources),
+        candidates=len(candidates),
+        p50_ms=p50 * 1e3,
+        p95_ms=p95 * 1e3,
+        total_seconds=total,
+        cover_entries=cover.size,
+        stored_integers=cover.stored_integers(),
+    )
+    return row, got
+
+
 def run_backend_query_benchmark(
     collection: Collection,
     *,
@@ -450,7 +495,8 @@ def run_backend_query_benchmark(
     candidate list of the next element test (the most frequent tag in
     the collection) via ``connected_many``. The covers are *identical*
     across backends (one build, converted), so the measurement isolates
-    the representation.
+    the representation. The matrix runner drives the same
+    :func:`measure_backend_cell` core one backend-cell at a time.
     """
     base = HopiIndex.build(
         collection, strategy="recursive", partitioner="node_weight",
@@ -463,37 +509,10 @@ def run_backend_query_benchmark(
     results: Dict[str, BackendQueryRow] = {}
     answers: Dict[str, List[List[bool]]] = {}
     for backend in backends:
-        cover = convert_cover(base.cover, backend)
-        index = HopiIndex(collection, cover)
-        # warm per-backend lazy state (the vector backend seals its CSR
-        # slabs on the first probe; billing the one-off seal to the
-        # first source would distort the latency percentiles)
-        index.connected_many(sources[0], candidates)
-        latencies: List[float] = []
-        got: List[List[bool]] = []
-        t_total = time.perf_counter()
-        for s in sources:
-            t0 = time.perf_counter()
-            got.append(index.connected_many(s, candidates))
-            latencies.append(time.perf_counter() - t0)
-        total = time.perf_counter() - t_total
-        latencies.sort()
-        n = len(latencies)
-        p50 = latencies[n // 2]
-        p95 = latencies[min(n - 1, max(0, math.ceil(n * 0.95) - 1))]  # nearest rank
-        results[backend] = BackendQueryRow(
-            backend=backend,
-            queries=len(sources),
-            candidates=len(candidates),
-            p50_ms=p50 * 1e3,
-            p95_ms=p95 * 1e3,
-            total_seconds=total,
-            cover_entries=cover.size,
-            stored_integers=cover.stored_integers(),
+        results[backend], answers[backend] = measure_backend_cell(
+            base, collection, sources, candidates, backend
         )
-        answers[backend] = got
-    # all backends must agree bit-for-bit — a perf win that changes
-    # answers is a bug, not a win (hard error: this guards the
+    # all backends must agree bit-for-bit (hard error: this guards the
     # BENCH_query.json acceptance record even under python -O)
     first = answers[backends[0]]
     for backend in backends[1:]:
@@ -549,40 +568,63 @@ def run_planner_benchmark(
     results: Dict[str, PlannerQueryRow] = {}
     reference: Optional[List[Tuple[tuple, float]]] = None
     for backend in backends:
-        index = HopiIndex(collection, convert_cover(base.cover, backend))
-        engine = QueryEngine(index, max_results=10**9)
-        timings: Dict[str, float] = {}
-        answers: Dict[str, List[Tuple[tuple, float]]] = {}
-        for order in ("naive", "selective"):
-            engine.evaluate(path, order=order)  # warm candidate memos
-            best = math.inf
-            for _ in range(repeats):
-                t0 = time.perf_counter()
-                rows = engine.evaluate(path, order=order)
-                best = min(best, time.perf_counter() - t0)
-            timings[order] = best
-            answers[order] = [(r.bindings, r.score) for r in rows]
-        if answers["naive"] != answers["selective"]:
-            raise RuntimeError(
-                f"planner changed answers on backend {backend!r}"
-            )
+        results[backend], answers = measure_planner_cell(
+            base, collection, path, backend, repeats=repeats
+        )
         if reference is None:
-            reference = answers["naive"]
-        elif answers["naive"] != reference:
+            reference = answers
+        elif answers != reference:
             raise RuntimeError(
                 f"backend {backend!r} answers diverge on the planner workload"
             )
-        results[backend] = PlannerQueryRow(
-            backend=backend,
-            path=path,
-            matches=len(answers["naive"]),
-            naive_seconds=timings["naive"],
-            planned_seconds=timings["selective"],
-            speedup=round(
-                timings["naive"] / max(timings["selective"], 1e-9), 2
-            ),
-        )
     return results
+
+
+def measure_planner_cell(
+    base: HopiIndex,
+    collection: Collection,
+    path: str,
+    backend: str,
+    *,
+    repeats: int = 3,
+) -> Tuple[PlannerQueryRow, List[Tuple[tuple, float]]]:
+    """One ``selective-tail x backend`` matrix cell.
+
+    Times the naive and the planned join order over the same converted
+    cover; planned-vs-naive answer identity is a hard precondition
+    (checked here, before any timing is kept), and the returned answer
+    list lets the caller cross-check backends against each other.
+    """
+    from repro.query.engine import QueryEngine
+
+    index = HopiIndex(collection, convert_cover(base.cover, backend))
+    engine = QueryEngine(index, max_results=10**9)
+    timings: Dict[str, float] = {}
+    answers: Dict[str, List[Tuple[tuple, float]]] = {}
+    for order in ("naive", "selective"):
+        engine.evaluate(path, order=order)  # warm candidate memos
+        best = math.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            rows = engine.evaluate(path, order=order)
+            best = min(best, time.perf_counter() - t0)
+        timings[order] = best
+        answers[order] = [(r.bindings, r.score) for r in rows]
+    if answers["naive"] != answers["selective"]:
+        raise RuntimeError(
+            f"planner changed answers on backend {backend!r}"
+        )
+    row = PlannerQueryRow(
+        backend=backend,
+        path=path,
+        matches=len(answers["naive"]),
+        naive_seconds=timings["naive"],
+        planned_seconds=timings["selective"],
+        speedup=round(
+            timings["naive"] / max(timings["selective"], 1e-9), 2
+        ),
+    )
+    return row, answers["naive"]
 
 
 @dataclass

@@ -1,0 +1,369 @@
+"""The config-driven workload-matrix runner behind ``python -m repro.bench``.
+
+Every benchmark suite used to own its orchestration: the query, build
+and service suites each re-implemented axis sweeps, timing, trajectory
+appends and bar checks inline. This module is the one runner they all
+sit on now — a suite *declares* its axes, the cartesian product is
+expanded into cells, every cell runs through one shared timing core,
+and the suite's acceptance bars are declarative :class:`Gate` objects
+evaluated (and reported) uniformly. A failed gate makes the whole run
+exit non-zero, which is what lets CI fail on perf regressions instead
+of silently archiving them.
+
+The shape follows the SNIPPETS.md exemplars: ``nnbench`` declares
+benchmarks with ``parametrize``/``product`` and runs them through one
+``BenchmarkRunner`` + reporter; ``nl2sql`` expands a config matrix in
+``run_matrix`` and lets a presenter ``sys.exit(1)`` on failures.
+
+Vocabulary:
+
+* :func:`product` — expand ``axis-name -> values`` declarations into
+  the cartesian list of cells (dicts), with an optional filter.
+* :class:`Cell` — one point of the product: a suite name plus its axis
+  assignment, and (after running) the measured record + wall seconds.
+* :class:`Gate` — one acceptance bar: a name, the bar's description,
+  and a ``check(entry) -> (ok, detail)`` callable. ``ci_check`` (when
+  set) replaces ``check`` under ``CI=1`` — the repo's existing pattern
+  for timing bars that are meaningless on noisy oversubscribed runners
+  (correctness gates never set it).
+* :class:`SuiteSpec` — one suite: axes, per-cell runner, a collector
+  that folds cell records into the suite's trajectory entry, gates,
+  and a presenter for the human-readable tables.
+* :class:`MatrixRunner` — expands, runs, collects, gates, reports.
+
+Cells of one suite run **sequentially in declaration order** and share
+a mutable context dict created by the suite's ``setup`` — later cells
+may read what earlier cells stashed there (the build suite's RPC
+loopback cell reuses the reference cover of the headline build cell,
+exactly as the pre-matrix code did).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "Cell",
+    "Gate",
+    "GateResult",
+    "MatrixReport",
+    "MatrixRunner",
+    "SuiteSpec",
+    "bench_seed",
+    "in_ci",
+    "product",
+]
+
+
+def in_ci() -> bool:
+    """True on a CI runner (the repo-wide relaxation switch for
+    timing-sensitive bars; see e.g. the async tail bound)."""
+    return bool(os.environ.get("CI"))
+
+
+def bench_seed() -> int:
+    """The run's synthetic-generator seed (``REPRO_BENCH_SEED``).
+
+    One seed threads through every synthetic collection and workload
+    generator so matrix cells are reproducible run-to-run; the default
+    (2005 — the paper's year) matches what the generators always used.
+    """
+    return int(os.environ.get("REPRO_BENCH_SEED", "2005"))
+
+
+def product(
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+) -> List[Dict[str, Any]]:
+    """Cartesian expansion of ``axis-name -> values`` into cell dicts.
+
+    Axis order is declaration order (the first axis varies slowest).
+    ``where`` filters the product — the matrix analogue of nnbench's
+    parametrize-with-condition.
+    """
+    names = list(axes)
+    cells = [
+        dict(zip(names, values))
+        for values in itertools.product(*(axes[n] for n in names))
+    ]
+    if where is not None:
+        cells = [c for c in cells if where(c)]
+    return cells
+
+
+@dataclass
+class Cell:
+    """One expanded point of a suite's axis product."""
+
+    suite: str
+    axes: Dict[str, Any]
+    record: Any = None
+    seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return " ".join(f"{k}={v}" for k, v in self.axes.items())
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """The outcome of evaluating one gate against a suite entry."""
+
+    suite: str
+    name: str
+    passed: bool
+    detail: str
+    relaxed: bool = False
+
+
+@dataclass
+class Gate:
+    """One declarative acceptance bar.
+
+    ``check`` receives the suite's collected entry and returns
+    ``(ok, detail)`` — the detail string is printed either way (the
+    measured figure next to the bar). ``ci_check`` substitutes a
+    relaxed predicate under ``CI=1``; leave it ``None`` for
+    correctness gates, which hold everywhere.
+    """
+
+    name: str
+    description: str
+    check: Callable[[Any], Tuple[bool, str]]
+    ci_check: Optional[Callable[[Any], Tuple[bool, str]]] = None
+
+    def evaluate(self, suite: str, entry: Any) -> GateResult:
+        relaxed = self.ci_check is not None and in_ci()
+        predicate = self.ci_check if relaxed else self.check
+        try:
+            ok, detail = predicate(entry)
+        except Exception as exc:  # a crashing gate is a failing gate
+            ok, detail = False, f"gate raised {type(exc).__name__}: {exc}"
+        return GateResult(
+            suite=suite, name=self.name, passed=ok,
+            detail=detail, relaxed=relaxed,
+        )
+
+
+def bound(
+    name: str,
+    description: str,
+    value: Callable[[Any], Optional[float]],
+    minimum: float,
+    *,
+    ci_minimum: Optional[float] = None,
+    unit: str = "x",
+) -> Gate:
+    """A ``measured >= minimum`` gate over one scalar of the entry.
+
+    The common bar shape (speedups, ratios). ``value`` returning
+    ``None`` fails the gate (an unrecorded bar is a regression, not a
+    pass). ``ci_minimum`` relaxes the threshold on CI runners.
+    """
+
+    def _check_at(threshold: float) -> Callable[[Any], Tuple[bool, str]]:
+        def _check(entry: Any) -> Tuple[bool, str]:
+            v = value(entry)
+            if v is None:
+                return False, "not recorded"
+            return v >= threshold, f"{v:.2f}{unit} (bar >= {threshold}{unit})"
+
+        return _check
+
+    return Gate(
+        name=name,
+        description=description,
+        check=_check_at(minimum),
+        ci_check=None if ci_minimum is None else _check_at(ci_minimum),
+    )
+
+
+def ceiling(
+    name: str,
+    description: str,
+    value: Callable[[Any], Optional[float]],
+    maximum: float,
+    *,
+    ci_maximum: Optional[float] = None,
+    unit: str = "",
+) -> Gate:
+    """A ``measured <= maximum`` gate (ratios that must stay low)."""
+
+    def _check_at(threshold: float) -> Callable[[Any], Tuple[bool, str]]:
+        def _check(entry: Any) -> Tuple[bool, str]:
+            v = value(entry)
+            if v is None:
+                return False, "not recorded"
+            return v <= threshold, f"{v:.2f}{unit} (bar <= {threshold}{unit})"
+
+        return _check
+
+    return Gate(
+        name=name,
+        description=description,
+        check=_check_at(maximum),
+        ci_check=None if ci_maximum is None else _check_at(ci_maximum),
+    )
+
+
+def truth(
+    name: str,
+    description: str,
+    value: Callable[[Any], bool],
+) -> Gate:
+    """A boolean correctness gate (never relaxed)."""
+
+    def _check(entry: Any) -> Tuple[bool, str]:
+        ok = bool(value(entry))
+        return ok, "ok" if ok else "violated"
+
+    return Gate(name=name, description=description, check=_check)
+
+
+@dataclass
+class SuiteSpec:
+    """One benchmark suite, declaratively.
+
+    Attributes:
+        name: the suite's CLI name (``query`` / ``service`` / ...).
+        title: one-line description printed as the suite header.
+        cells: the expanded axis product (see :func:`product`); cells
+            run sequentially in this order.
+        run_cell: ``(ctx, axes) -> record`` — measure one cell.
+        setup: builds the shared mutable context dict (collections,
+            base indexes) once per suite run.
+        collect: ``(ctx, cells) -> entry`` — fold the measured cells
+            into the suite's trajectory entry (and append it to the
+            suite's ``BENCH_*.json``; collectors call the existing
+            ``emit_bench_*_entry`` helpers so the on-disk shapes are
+            unchanged).
+        gates: the suite's acceptance bars, checked against the entry.
+        present: prints the human-readable tables (``(ctx, entry,
+            cells) -> None``).
+    """
+
+    name: str
+    title: str
+    cells: List[Dict[str, Any]]
+    run_cell: Callable[[Dict[str, Any], Dict[str, Any]], Any]
+    setup: Callable[[], Dict[str, Any]] = field(default=lambda: {})
+    collect: Callable[
+        [Dict[str, Any], List[Cell]], Any
+    ] = field(default=lambda ctx, cells: None)
+    gates: List[Gate] = field(default_factory=list)
+    present: Optional[Callable[[Dict[str, Any], Any, List[Cell]], None]] = None
+
+
+@dataclass
+class SuiteReport:
+    """One suite's run: its cells, collected entry and gate results."""
+
+    name: str
+    cells: List[Cell]
+    entry: Any
+    gates: List[GateResult]
+    seconds: float
+
+    @property
+    def failed_gates(self) -> List[GateResult]:
+        return [g for g in self.gates if not g.passed]
+
+
+@dataclass
+class MatrixReport:
+    """The whole run; ``ok`` drives the process exit status."""
+
+    suites: List[SuiteReport]
+    seed: int
+
+    @property
+    def failed_gates(self) -> List[GateResult]:
+        return [g for s in self.suites for g in s.failed_gates]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_gates
+
+
+class MatrixRunner:
+    """Expand, run, collect, gate and report a list of suites."""
+
+    def __init__(self, specs: Sequence[SuiteSpec], *, verbose: bool = True):
+        self._specs = {spec.name: spec for spec in specs}
+        self._verbose = verbose
+
+    @property
+    def suite_names(self) -> List[str]:
+        return list(self._specs)
+
+    def run(self, names: Optional[Sequence[str]] = None) -> MatrixReport:
+        names = list(names) if names is not None else list(self._specs)
+        unknown = [n for n in names if n not in self._specs]
+        if unknown:
+            raise KeyError(f"unknown suite(s): {unknown}")
+        reports = [self._run_suite(self._specs[n]) for n in names]
+        report = MatrixReport(suites=reports, seed=bench_seed())
+        if self._verbose:
+            self._print_summary(report)
+        return report
+
+    def _run_suite(self, spec: SuiteSpec) -> SuiteReport:
+        t_suite = time.perf_counter()
+        if self._verbose:
+            print(f"{spec.title} — {len(spec.cells)} cell(s), "
+                  f"seed {bench_seed()}\n")
+        ctx = spec.setup()
+        cells: List[Cell] = []
+        for axes in spec.cells:
+            cell = Cell(suite=spec.name, axes=dict(axes))
+            t0 = time.perf_counter()
+            cell.record = spec.run_cell(ctx, cell.axes)
+            cell.seconds = time.perf_counter() - t0
+            cells.append(cell)
+        entry = spec.collect(ctx, cells)
+        gates = [gate.evaluate(spec.name, entry) for gate in spec.gates]
+        if spec.present is not None and self._verbose:
+            spec.present(ctx, entry, cells)
+        return SuiteReport(
+            name=spec.name,
+            cells=cells,
+            entry=entry,
+            gates=gates,
+            seconds=time.perf_counter() - t_suite,
+        )
+
+    # -- reporting ------------------------------------------------------
+    def _print_summary(self, report: MatrixReport) -> None:
+        print("\n== matrix summary ==")
+        for suite in report.suites:
+            print(
+                f"suite {suite.name}: {len(suite.cells)} cell(s) in "
+                f"{suite.seconds:.1f}s"
+            )
+            for result in suite.gates:
+                flag = "PASS" if result.passed else "FAIL"
+                relaxed = " [CI-relaxed]" if result.relaxed else ""
+                print(
+                    f"  {flag}{relaxed} {result.name}: {result.detail}"
+                )
+        failed = report.failed_gates
+        if failed:
+            print(f"\n{len(failed)} gate(s) FAILED:")
+            for result in failed:
+                print(f"  [{result.suite}] {result.name}: {result.detail}")
+        else:
+            print("\nall gates passed")

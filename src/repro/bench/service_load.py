@@ -32,7 +32,9 @@ records the serving-tier trajectory:
 from __future__ import annotations
 
 import math
+import os
 import sys
+import tempfile
 import threading
 import time
 from dataclasses import asdict, dataclass, field
@@ -40,8 +42,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.trajectory import anchored_trajectory_path, append_trajectory
-from repro.bench.workloads import bench_dblp, workload_scale
-from repro.core.hopi import HopiIndex
+from repro.bench.workloads import bench_dblp, workload_scale, workload_seed
+from repro.core.hopi import BACKENDS, HopiIndex
 from repro.core.ops import apply_update_op
 from repro.query.engine import QueryEngine
 from repro.service.service import QueryService
@@ -862,6 +864,190 @@ def run_write_path_benchmark(
     }
 
 
+class _SimulatedCrash(RuntimeError):
+    """Raised by the crash hook to abandon an ingest mid-publish."""
+
+
+INGEST_QUERY_MIX = ("//article//cite", "//article//author", "//title")
+
+
+def run_ingestion_benchmark(
+    *,
+    backend: str = "arrays",
+    n_docs: int = 120,
+    batch_docs: int = 8,
+    reader_threads: int = 4,
+    crash_after_batches: int = 4,
+) -> Dict[str, object]:
+    """The ingestion segment of the serving benchmark.
+
+    Three sub-studies on the streaming pipeline (:mod:`repro.ingest`):
+
+    * **throughput**: sustained docs/sec streaming a scale-free
+      citation graph through group-commit publishes while
+      ``reader_threads`` query at full speed, with the per-document
+      freshness lag (discovery -> queryable) p50/p99;
+    * **crash_resume**: an ingest into a durable store is killed via
+      the crash hook after ``crash_after_batches`` publishes (WAL ahead
+      of the frontier — the worst crash window), recovered and resumed;
+      the recovered index must be **bit-identical** (canonical snapshot
+      bytes) to an uninterrupted run;
+    * **differential**: the streamed index must answer the query mix
+      identically to a batch-built index over the same final
+      collection, on every label backend.
+    """
+    from repro.ingest import (
+        FrontierCheckpoint,
+        IngestPipeline,
+        collection_from_source,
+        make_source,
+    )
+    from repro.storage.snapshot import canonical_snapshot_bytes
+    from repro.storage.wal import DurableIndexStore
+
+    seed = workload_seed()
+    n_docs = max(int(n_docs * workload_scale()), 30)
+    spec = f"scale-free:{n_docs}"
+    paths = list(INGEST_QUERY_MIX)
+
+    # -- throughput under concurrent readers ----------------------------
+    service = QueryService(HopiIndex.build(Collection(), backend=backend))
+    done = threading.Event()
+    reader_latencies: List[List[float]] = [[] for _ in range(reader_threads)]
+    reader_errors: List[BaseException] = []
+
+    def reader(latencies: List[float]) -> None:
+        while not done.is_set():
+            for path in paths:
+                t0 = time.perf_counter()
+                try:
+                    service.query(path)
+                except Exception as exc:  # pragma: no cover - gate fodder
+                    reader_errors.append(exc)
+                    return
+                latencies.append(time.perf_counter() - t0)
+
+    threads = [
+        threading.Thread(target=reader, args=(lat,), daemon=True)
+        for lat in reader_latencies
+    ]
+    for t in threads:
+        t.start()
+    try:
+        summary = IngestPipeline(
+            service, make_source(spec, seed=seed), batch_docs=batch_docs
+        ).run()
+    finally:
+        done.set()
+        for t in threads:
+            t.join()
+    merged = sorted(x for lat in reader_latencies for x in lat)
+
+    # -- crash/resume bit-parity ----------------------------------------
+    crash_docs = min(n_docs, 48)
+    crash_spec = f"deep-tree:{crash_docs}"
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-bench-") as tmp:
+        straight_dir = os.path.join(tmp, "straight")
+        crashed_dir = os.path.join(tmp, "crashed")
+
+        def fresh_service(root: str, hook=None) -> QueryService:
+            store = DurableIndexStore(root, crash_hook=hook)
+            index = HopiIndex.build(Collection(), backend=backend)
+            store.initialize(index)
+            return QueryService(index, durable_store=store)
+
+        straight = fresh_service(straight_dir)
+        IngestPipeline(
+            straight, make_source(crash_spec, seed=seed),
+            batch_docs=batch_docs, store_dir=straight_dir,
+        ).run()
+        straight_bytes = canonical_snapshot_bytes(straight.index.cover)
+        straight.close()
+
+        published = [0]
+
+        def crash_hook(point: str) -> None:
+            if point == "published":
+                published[0] += 1
+                if published[0] >= crash_after_batches:
+                    raise _SimulatedCrash(
+                        f"crash injected after publish #{published[0]}"
+                    )
+
+        doomed = fresh_service(crashed_dir, hook=crash_hook)
+        crashed = False
+        try:
+            IngestPipeline(
+                doomed, make_source(crash_spec, seed=seed),
+                batch_docs=batch_docs, store_dir=crashed_dir,
+            ).run()
+        except _SimulatedCrash:
+            crashed = True
+        doomed._durable.close()
+
+        store = DurableIndexStore(crashed_dir)
+        checkpoint = FrontierCheckpoint.load(crashed_dir)
+        cursor = checkpoint.cursor if checkpoint is not None else 0
+        recovered = QueryService(
+            store.recover(backend=backend), durable_store=store
+        )
+        resumed = IngestPipeline(
+            recovered, make_source(crash_spec, seed=seed),
+            batch_docs=batch_docs, store_dir=crashed_dir, cursor=cursor,
+        ).run()
+        resumed_bytes = canonical_snapshot_bytes(recovered.index.cover)
+        recovered.close()
+
+    crash_resume = {
+        "docs": crash_docs,
+        "crashed": crashed,
+        "crash_after_batches": crash_after_batches,
+        "resumed_from_cursor": cursor,
+        "resumed_docs": resumed.docs,
+        "skipped_on_resume": resumed.skipped,
+        "bit_identical": resumed_bytes == straight_bytes,
+    }
+
+    # -- streaming vs batch-built differential --------------------------
+    reference = collection_from_source(make_source(spec, seed=seed))
+    streamed = service.index
+    backends_identical: Dict[str, bool] = {}
+    for candidate in BACKENDS:
+        batch_engine = QueryEngine(HopiIndex.build(reference, backend=candidate))
+        stream_engine = QueryEngine(streamed.with_backend(candidate))
+        backends_identical[candidate] = all(
+            sorted(r.target for r in batch_engine.evaluate(path))
+            == sorted(r.target for r in stream_engine.evaluate(path))
+            for path in paths
+        )
+
+    return {
+        "source": spec,
+        "seed": seed,
+        "backend": backend,
+        "batch_docs": batch_docs,
+        "docs": summary.docs,
+        "elements": summary.elements,
+        "links": summary.links,
+        "batches": summary.batches,
+        "docs_per_second": summary.docs_per_second,
+        "freshness_p50_ms": summary.freshness_p50_ms,
+        "freshness_p99_ms": summary.freshness_p99_ms,
+        "reader_threads": reader_threads,
+        "reader_requests": len(merged),
+        "reader_errors": len(reader_errors),
+        "reader_p95_ms": (
+            percentile(merged, 0.95) * 1000.0 if merged else None
+        ),
+        "crash_resume": crash_resume,
+        "differential": {
+            "paths": paths,
+            "backends_identical": backends_identical,
+            "all_identical": all(backends_identical.values()),
+        },
+    }
+
+
 def run_service_benchmark(
     collection: Optional[Collection] = None,
     *,
@@ -913,6 +1099,8 @@ def run_service_benchmark(
 
     write_path = run_write_path_benchmark(index, paths, backend=backend)
 
+    ingestion = run_ingestion_benchmark(backend=backend)
+
     return {
         "collection": "DBLP",
         "backend": backend,
@@ -925,6 +1113,7 @@ def run_service_benchmark(
         "sharded": sharded,
         "async_front_end": async_front_end,
         "write_path": write_path,
+        "ingestion": ingestion,
     }
 
 

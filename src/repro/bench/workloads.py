@@ -22,6 +22,7 @@ import os
 import random
 from functools import lru_cache
 
+from repro.bench.matrix import bench_seed
 from repro.xmlmodel.generator import dblp_like, inex_like
 from repro.xmlmodel.model import Collection
 
@@ -46,26 +47,45 @@ def workload_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
-@lru_cache(maxsize=4)
-def bench_dblp(scale: float | None = None) -> Collection:
+def workload_seed() -> int:
+    """The run's generator seed (``REPRO_BENCH_SEED``, default 2005).
+
+    One seed threads through every synthetic collection here and every
+    :mod:`repro.ingest.sources` generator, so a matrix run is
+    reproducible end to end — ``python -m repro.bench all --seed N``
+    sets it for the whole process.
+    """
+    return bench_seed()
+
+
+@lru_cache(maxsize=8)
+def bench_dblp(
+    scale: float | None = None, seed: int | None = None
+) -> Collection:
     """The DBLP-like benchmark collection (citation-linked, shallow docs)."""
     scale = workload_scale() if scale is None else scale
-    return dblp_like(max(int(DEFAULT_DBLP_DOCS * scale), 10), seed=2005)
+    seed = workload_seed() if seed is None else seed
+    return dblp_like(max(int(DEFAULT_DBLP_DOCS * scale), 10), seed=seed)
 
 
-@lru_cache(maxsize=4)
-def bench_inex(scale: float | None = None) -> Collection:
+@lru_cache(maxsize=8)
+def bench_inex(
+    scale: float | None = None, seed: int | None = None
+) -> Collection:
     """The INEX-like benchmark collection (deep trees, no links)."""
     scale = workload_scale() if scale is None else scale
+    seed = workload_seed() if seed is None else seed
     return inex_like(
         max(int(DEFAULT_INEX_DOCS * scale), 3),
-        seed=2005,
+        seed=seed,
         elements_per_doc=DEFAULT_INEX_ELEMENTS_PER_DOC,
     )
 
 
-@lru_cache(maxsize=4)
-def bench_dblp_selective(scale: float | None = None) -> Collection:
+@lru_cache(maxsize=8)
+def bench_dblp_selective(
+    scale: float | None = None, seed: int | None = None
+) -> Collection:
     """The DBLP-like collection with a **rare tail tag** planted.
 
     Every :data:`SELECTIVE_RARE_EVERY`-th document (at least two)
@@ -79,7 +99,8 @@ def bench_dblp_selective(scale: float | None = None) -> Collection:
     records.
     """
     scale = workload_scale() if scale is None else scale
-    collection = dblp_like(max(int(DEFAULT_DBLP_DOCS * scale), 10), seed=2005)
+    seed = workload_seed() if seed is None else seed
+    collection = dblp_like(max(int(DEFAULT_DBLP_DOCS * scale), 10), seed=seed)
     docs = sorted(collection.documents)
     rare_docs = docs[:: SELECTIVE_RARE_EVERY] if len(docs) > 2 else docs[:2]
     if len(rare_docs) < 2:
@@ -90,8 +111,10 @@ def bench_dblp_selective(scale: float | None = None) -> Collection:
     return collection
 
 
-@lru_cache(maxsize=4)
-def bench_inex_linked(scale: float | None = None) -> Collection:
+@lru_cache(maxsize=8)
+def bench_inex_linked(
+    scale: float | None = None, seed: int | None = None
+) -> Collection:
     """Deep INEX-like trees plus citation-style links — join-heavy.
 
     Every document (except the first) cites earlier documents from a
@@ -107,13 +130,14 @@ def bench_inex_linked(scale: float | None = None) -> Collection:
     of the time was spent joining the covers").
     """
     scale = workload_scale() if scale is None else scale
+    seed = workload_seed() if seed is None else seed
     n_docs = max(int(DEFAULT_INEX_DOCS * scale), 4)
     collection = inex_like(
         n_docs,
-        seed=2005,
+        seed=seed,
         elements_per_doc=DEFAULT_INEX_ELEMENTS_PER_DOC,
     )
-    rng = random.Random(2005)
+    rng = random.Random(seed)
     docs = sorted(collection.documents)
     elements_by_doc: dict = {d: [] for d in docs}
     for eid in sorted(collection.elements):

@@ -371,6 +371,83 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest import FrontierCheckpoint, IngestPipeline, make_source
+    from repro.service import QueryService
+    from repro.storage.wal import DurableIndexStore
+    from repro.xmlmodel.model import Collection
+
+    source = make_source(args.source, seed=args.seed)
+    store = DurableIndexStore(
+        args.store, checkpoint_interval=args.checkpoint_interval
+    )
+    cursor = 0
+    if store.exists():
+        checkpoint = FrontierCheckpoint.load(args.store)
+        if not args.resume:
+            raise SystemExit(
+                f"store {args.store} already holds an index"
+                + (
+                    f" (frontier at document {checkpoint.cursor}"
+                    f" of {checkpoint.source!r})" if checkpoint else ""
+                )
+                + "; pass --resume to continue the ingest, or point "
+                "--store at a fresh directory"
+            )
+        if checkpoint is not None:
+            if checkpoint.source != source.spec or checkpoint.seed != args.seed:
+                raise SystemExit(
+                    f"frontier checkpoint was written by source "
+                    f"{checkpoint.source!r} seed {checkpoint.seed}, not "
+                    f"{source.spec!r} seed {args.seed}; refusing to mix "
+                    "streams in one store"
+                )
+            cursor = checkpoint.cursor
+        index = store.recover(backend=args.backend)
+        print(
+            f"resuming: recovered epoch {index.epoch} "
+            f"({index.collection.num_documents} documents), frontier at "
+            f"document {cursor}",
+            flush=True,
+        )
+    else:
+        if args.resume:
+            raise SystemExit(
+                f"nothing to resume: {args.store} holds no durable store"
+            )
+        index = HopiIndex.build(
+            Collection(), backend=args.backend or "arrays"
+        )
+        store.initialize(index)
+        print(f"initialised durable store {args.store}", flush=True)
+
+    service = QueryService(index, durable_store=store)
+    pipeline = IngestPipeline(
+        service,
+        source,
+        batch_docs=args.batch_docs,
+        store_dir=args.store,
+        cursor=cursor,
+    )
+    try:
+        summary = pipeline.run(max_docs=args.max_docs)
+    finally:
+        service.close()
+    skipped = f", {summary.skipped} already present" if summary.skipped else ""
+    print(
+        f"ingested {summary.docs} documents ({summary.elements} elements, "
+        f"{summary.links} links, {summary.dropped_links} dropped) in "
+        f"{summary.batches} batches over {summary.seconds:.2f}s "
+        f"({summary.docs_per_second:.0f} docs/s{skipped})"
+    )
+    print(
+        f"freshness lag p50 {summary.freshness_p50_ms:.2f} ms, "
+        f"p99 {summary.freshness_p99_ms:.2f} ms; epoch {summary.epoch}, "
+        f"frontier at document {summary.cursor}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -557,6 +634,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="audit the cover against a BFS oracle")
     p.add_argument("index")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "ingest",
+        help="stream documents from a source into a durable index — "
+             "crawl-style frontier -> insert_document ops -> group-"
+             "commit publishes, WAL-logged; crash-resumable with "
+             "--resume (the frontier checkpoint rides in the store "
+             "directory)",
+    )
+    p.add_argument("--source", required=True, metavar="SPEC",
+                   help="document stream: dir:PATH walks *.xml files; "
+                        "scale-free:N, deep-tree:N and ontology:N are "
+                        "seeded synthetic generators")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="durable store directory (index.db + updates.wal "
+                        "+ frontier.json); created on first run")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a previous ingest of the same source "
+                        "from its frontier checkpoint (required when "
+                        "DIR already holds an index)")
+    p.add_argument("--seed", type=int, default=2005,
+                   help="seed for synthetic sources (default 2005); a "
+                        "resume must pass the original seed")
+    p.add_argument("--backend", default=None, choices=list(BACKENDS),
+                   help="label backend for a fresh store (default arrays)")
+    p.add_argument("--batch-docs", type=int, default=8,
+                   help="documents per group-commit batch (default 8): "
+                        "bigger amortises publishes, smaller cuts "
+                        "freshness lag")
+    p.add_argument("--max-docs", type=int, default=None,
+                   help="stop after ingesting N new documents")
+    p.add_argument("--checkpoint-interval", type=int, default=64,
+                   help="WAL records between snapshot checkpoints of the "
+                        "durable store (default 64)")
+    p.set_defaults(func=cmd_ingest)
     return parser
 
 

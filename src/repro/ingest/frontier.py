@@ -1,0 +1,82 @@
+"""The ingestion frontier checkpoint: how far the stream got, durably.
+
+One small JSON file (``frontier.json``) living next to the durable
+store's ``index.db`` + ``updates.wal``. After every acknowledged batch
+the pipeline rewrites it atomically (tmp file + fsync + ``os.replace``
+— the same discipline as the snapshot checkpoint), recording:
+
+* ``source`` / ``seed`` — the spec that recreates the stream, so a
+  resume can refuse a mismatched ``--source``;
+* ``cursor`` — documents acknowledged **and** checkpointed; the resume
+  restarts the stream here;
+* ``epoch`` — the service epoch of the last acknowledged batch;
+* ``docs`` / ``total`` — progress accounting for operators.
+
+Crash windows: the WAL fsyncs *before* an update publishes, and the
+frontier is written *after* the publish is acknowledged. A crash
+between the two leaves the WAL ahead of the frontier — replay recovers
+documents the frontier doesn't know about. That's why the pipeline's
+resume path also skips any streamed document already present in the
+recovered collection (dedupe by ``doc_id``): re-applying
+``insert_document`` would be rejected, and skipping it is exact
+because documents are self-contained ops (their links ride in the
+same op).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+FRONTIER_FILENAME = "frontier.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class FrontierCheckpoint:
+    """The persisted frontier state (see module docstring)."""
+
+    source: str
+    seed: int
+    cursor: int = 0
+    epoch: int = 0
+    docs: int = 0
+    total: Optional[int] = None
+
+    @staticmethod
+    def path_for(store_dir: Union[str, Path]) -> Path:
+        return Path(store_dir) / FRONTIER_FILENAME
+
+    @classmethod
+    def load(cls, store_dir: Union[str, Path]) -> Optional["FrontierCheckpoint"]:
+        """Read the checkpoint, or ``None`` when none was ever written.
+
+        A torn/corrupt file (killed mid-``os.replace`` is impossible,
+        but a hand-edited one isn't) raises — resuming from a frontier
+        we can't trust silently would corrupt the differential gate.
+        """
+        path = cls.path_for(store_dir)
+        if not path.exists():
+            return None
+        payload = json.loads(path.read_text())
+        version = payload.pop("version", None)
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported frontier checkpoint version {version!r} "
+                f"in {path}"
+            )
+        return cls(**payload)
+
+    def save(self, store_dir: Union[str, Path]) -> None:
+        """Atomically rewrite the checkpoint (tmp + fsync + replace)."""
+        path = self.path_for(store_dir)
+        payload = {"version": _FORMAT_VERSION, **asdict(self)}
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=0)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)

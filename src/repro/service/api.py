@@ -286,4 +286,9 @@ class ServiceAPI:
         if holder is not None:
             caches["probe"] = holder.current.probes.stats()
         payload["cache"] = caches
+        ingest_stats = getattr(service, "ingest_stats", None)
+        if ingest_stats is not None:
+            # the ingestion-freshness gauge (docs ingested, publish-lag
+            # percentiles) — present on QueryService, absent on routers
+            payload["ingest"] = ingest_stats()
         return 200, payload

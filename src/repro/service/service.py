@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -242,6 +243,13 @@ class QueryService:
         self._durable = durable_store
         self._started = time.time()
         self._published_at = self._started
+        # ingestion bookkeeping (fed by repro.ingest.IngestPipeline via
+        # record_ingest; surfaced as the /v1/metrics freshness gauge)
+        self._ingest_lock = threading.Lock()
+        self._ingest_docs = 0
+        self._ingest_batches = 0
+        self._ingest_last_at: Optional[float] = None
+        self._ingest_lags: "deque[float]" = deque(maxlen=512)
 
     # ------------------------------------------------------------------
     # epoch plumbing
@@ -636,6 +644,56 @@ class QueryService:
             "uptime_seconds": time.time() - self._started,
             "swaps": self._holder.swaps,
         }
+
+    def record_ingest(
+        self, docs: int, lag_seconds: Sequence[float]
+    ) -> None:
+        """Note one acknowledged ingestion batch (pipeline hook).
+
+        ``lag_seconds`` are the batch's per-document freshness lags
+        (discovery -> publish); the most recent 512 samples back the
+        ``/v1/metrics`` freshness gauge.
+        """
+        with self._ingest_lock:
+            self._ingest_docs += docs
+            self._ingest_batches += 1
+            self._ingest_last_at = time.time()
+            self._ingest_lags.extend(lag_seconds)
+
+    def ingest_stats(self) -> Dict[str, Any]:
+        """The ingestion/freshness gauge reported by ``/v1/metrics``."""
+        with self._ingest_lock:
+            docs = self._ingest_docs
+            batches = self._ingest_batches
+            last_at = self._ingest_last_at
+            lags = sorted(self._ingest_lags)
+
+        def at(fraction: float) -> Optional[float]:
+            if not lags:
+                return None
+            index = min(
+                len(lags) - 1,
+                max(0, int(round(fraction * (len(lags) - 1)))),
+            )
+            return lags[index] * 1e3
+        return {
+            "docs_total": docs,
+            "batches_total": batches,
+            "last_batch_age_seconds": (
+                time.time() - last_at if last_at is not None else None
+            ),
+            "freshness_p50_ms": at(0.50),
+            "freshness_p99_ms": at(0.99),
+        }
+
+    def close(self) -> None:
+        """Release the durable store's file handles (flush the WAL).
+
+        Graceful shutdown only — crash recovery never needs it (every
+        WAL append fsyncs before its epoch publishes).
+        """
+        if self._durable is not None:
+            self._durable.close()
 
     def stats(self) -> Dict[str, Any]:
         """A point-in-time snapshot for the ``/stats`` endpoint."""

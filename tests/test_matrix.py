@@ -1,0 +1,179 @@
+"""The workload-matrix core: product expansion, gates, runner, exit.
+
+These tests exercise :mod:`repro.bench.matrix` with toy suites (no
+real benchmarks) so the runner's semantics — cell order, shared
+context, gate evaluation, CI relaxation, non-zero-exit reporting — are
+pinned independently of benchmark timing.
+"""
+
+import pytest
+
+from repro.bench.matrix import (
+    Cell,
+    Gate,
+    MatrixRunner,
+    SuiteSpec,
+    bench_seed,
+    bound,
+    ceiling,
+    in_ci,
+    product,
+    truth,
+)
+
+
+# ---------------------------------------------------------------------------
+# product
+# ---------------------------------------------------------------------------
+
+def test_product_expands_in_declaration_order():
+    cells = product({"a": [1, 2], "b": ["x", "y"]})
+    assert cells == [
+        {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+        {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+    ]
+
+
+def test_product_where_filters():
+    cells = product(
+        {"backend": ["sets", "arrays"], "threads": [1, 4]},
+        where=lambda c: not (c["backend"] == "sets" and c["threads"] == 4),
+    )
+    assert {"backend": "sets", "threads": 4} not in cells
+    assert len(cells) == 3
+
+
+def test_product_empty_axis_is_empty():
+    assert product({"a": []}) == []
+
+
+# ---------------------------------------------------------------------------
+# gates
+# ---------------------------------------------------------------------------
+
+def test_bound_gate_pass_and_fail():
+    gate = bound("g", "d", lambda e: e["v"], 2.0)
+    assert gate.evaluate("s", {"v": 2.5}).passed
+    result = gate.evaluate("s", {"v": 1.5})
+    assert not result.passed
+    assert "1.50" in result.detail and "2.0" in result.detail
+
+
+def test_bound_gate_fails_on_unrecorded_value():
+    gate = bound("g", "d", lambda e: e.get("missing"), 1.0)
+    result = gate.evaluate("s", {})
+    assert not result.passed
+    assert result.detail == "not recorded"
+
+
+def test_ceiling_gate():
+    gate = ceiling("g", "d", lambda e: e["v"], 0.7)
+    assert gate.evaluate("s", {"v": 0.5}).passed
+    assert not gate.evaluate("s", {"v": 0.9}).passed
+
+
+def test_truth_gate():
+    gate = truth("g", "d", lambda e: e["ok"])
+    assert gate.evaluate("s", {"ok": True}).passed
+    assert not gate.evaluate("s", {"ok": False}).passed
+
+
+def test_gate_exception_is_failure():
+    gate = truth("g", "d", lambda e: e["nope"])
+    result = gate.evaluate("s", {})
+    assert not result.passed
+    assert "KeyError" in result.detail
+
+
+def test_ci_relaxation_substitutes_threshold(monkeypatch):
+    gate = bound("g", "d", lambda e: e["v"], 2.0, ci_minimum=1.0)
+    monkeypatch.delenv("CI", raising=False)
+    assert not in_ci()
+    strict = gate.evaluate("s", {"v": 1.5})
+    assert not strict.passed and not strict.relaxed
+    monkeypatch.setenv("CI", "1")
+    assert in_ci()
+    relaxed = gate.evaluate("s", {"v": 1.5})
+    assert relaxed.passed and relaxed.relaxed
+
+
+def test_truth_gates_never_relax(monkeypatch):
+    monkeypatch.setenv("CI", "1")
+    result = truth("g", "d", lambda e: False).evaluate("s", {})
+    assert not result.passed and not result.relaxed
+
+
+def test_bench_seed_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+    assert bench_seed() == 2005
+    monkeypatch.setenv("REPRO_BENCH_SEED", "7")
+    assert bench_seed() == 7
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+def toy_suite(name="toy", gates=None, log=None):
+    log = log if log is not None else []
+
+    def setup():
+        return {"ran": []}
+
+    def run_cell(ctx, axes):
+        ctx["ran"].append(axes["i"])
+        return axes["i"] * 10
+
+    def collect(ctx, cells):
+        log.append(list(ctx["ran"]))
+        return {"total": sum(c.record for c in cells), "order": ctx["ran"]}
+
+    return SuiteSpec(
+        name=name,
+        title="toy suite",
+        cells=product({"i": [1, 2, 3]}),
+        setup=setup,
+        run_cell=run_cell,
+        collect=collect,
+        gates=gates or [],
+    )
+
+
+def test_runner_runs_cells_in_order_with_shared_ctx():
+    runner = MatrixRunner([toy_suite()], verbose=False)
+    report = runner.run()
+    suite = report.suites[0]
+    assert [c.record for c in suite.cells] == [10, 20, 30]
+    assert suite.entry["order"] == [1, 2, 3]
+    assert report.ok
+
+
+def test_runner_gate_failure_flips_ok():
+    failing = toy_suite(gates=[
+        bound("total", "d", lambda e: e["total"], 1000.0),
+        truth("always", "d", lambda e: True),
+    ])
+    report = MatrixRunner([failing], verbose=False).run()
+    assert not report.ok
+    assert [g.name for g in report.failed_gates] == ["total"]
+
+
+def test_runner_selects_suites_by_name():
+    runner = MatrixRunner(
+        [toy_suite("one"), toy_suite("two")], verbose=False
+    )
+    report = runner.run(["two"])
+    assert [s.name for s in report.suites] == ["two"]
+    with pytest.raises(KeyError):
+        runner.run(["nonexistent"])
+
+
+def test_cell_label():
+    cell = Cell(suite="s", axes={"backend": "arrays", "threads": 4})
+    assert cell.label == "backend=arrays threads=4"
+
+
+def test_gate_detail_carries_measured_value():
+    gate = bound("g", "d", lambda e: e["v"], 2.0, unit=" docs/s")
+    result = gate.evaluate("s", {"v": 123.4})
+    assert "123.40 docs/s" in result.detail
